@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes its rendered artefact (table / curve / scatter) into
+``benchmarks/results/`` so the numbers referenced by EXPERIMENTS.md can be
+regenerated with a single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    def _save(name: str, content: str) -> str:
+        path = os.path.join(results_dir, name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(content if content.endswith("\n") else content + "\n")
+        return path
+    return _save

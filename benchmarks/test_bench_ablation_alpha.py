@@ -1,0 +1,42 @@
+"""Ablation: the serialisation ratio alpha_s of serial interpolation sequences.
+
+The paper fixes alpha_s = 0.5 (Section IV-C) without exploring the knob;
+this ablation sweeps alpha_s from fully parallel (0.0, which degenerates to
+plain ITPSEQ) to fully serial (1.0) on a few proof-heavy instances and
+archives the per-value runtimes and convergence depths.
+"""
+
+import pytest
+
+from repro.circuits import get_instance
+from repro.core import EngineOptions, SerialItpSeqEngine
+from repro.harness import format_table
+
+pytestmark = pytest.mark.benchmark(group="ablation-alpha")
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+INSTANCES = ("traffic1", "parity05", "modcnt06", "mutex")
+
+
+def _sweep(instance_name):
+    instance = get_instance(instance_name)
+    rows = []
+    for alpha in ALPHAS:
+        options = EngineOptions(max_bound=25, time_limit=60.0, alpha_s=alpha)
+        result = SerialItpSeqEngine(instance.build(), options).run()
+        rows.append([alpha, result.verdict.value, round(result.time_seconds, 3),
+                     result.k_fp, result.j_fp, result.stats.sat_calls,
+                     result.stats.itp_nodes])
+    return rows
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_alpha_sweep(benchmark, save_artifact, name):
+    rows = benchmark.pedantic(_sweep, args=(name,), rounds=1, iterations=1)
+    table = format_table(
+        ["alpha_s", "verdict", "time", "k_fp", "j_fp", "sat_calls", "itp_nodes"],
+        rows, title=f"alpha_s ablation on {name}")
+    save_artifact(f"ablation_alpha_{name}.txt", table)
+    # Every configuration must reach the same verdict.
+    verdicts = {row[1] for row in rows}
+    assert len(verdicts - {"ovf", "unknown"}) <= 1

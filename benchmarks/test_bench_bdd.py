@@ -1,0 +1,37 @@
+"""Benchmark: the BDD reachability baseline (the 'BDDs' columns of Table I)."""
+
+import pytest
+
+from repro.bdd import check_with_bdds
+from repro.circuits import get_instance
+from repro.harness import format_table
+
+pytestmark = pytest.mark.benchmark(group="bdd")
+
+INSTANCES = ("ring06", "traffic2", "modcnt12", "queue02", "parity05", "indA1_ring12")
+
+
+@pytest.mark.parametrize("name", INSTANCES)
+def test_bdd_diameters(benchmark, name):
+    instance = get_instance(name)
+    model = instance.build()
+    verdict = benchmark.pedantic(check_with_bdds, args=(model,),
+                                 kwargs={"max_nodes": 300_000, "time_limit": 30.0},
+                                 rounds=1, iterations=1)
+    if verdict.status != "overflow":
+        assert verdict.status == instance.expected
+
+
+def test_bdd_summary_table(save_artifact):
+    rows = []
+    for name in INSTANCES:
+        instance = get_instance(name)
+        verdict = check_with_bdds(instance.build(), max_nodes=300_000,
+                                  time_limit=30.0)
+        rows.append([name, verdict.status, verdict.d_f, round(verdict.time_forward, 3),
+                     verdict.d_b, round(verdict.time_backward, 3),
+                     verdict.num_reachable_states])
+    table = format_table(
+        ["name", "status", "d_F", "Time_F", "d_B", "Time_B", "reachable_states"],
+        rows, title="BDD baseline (exact reachability and diameters)")
+    save_artifact("bdd_baseline.txt", table)

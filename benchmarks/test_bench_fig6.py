@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Fig. 6 (sorted per-engine runtime curves).
+
+The full suite is run with all four engines (no BDD baseline — Fig. 6 only
+compares the SAT-based techniques) and the sorted runtime series plus the
+solved-instance summary are archived under ``benchmarks/results/``.
+"""
+
+import pytest
+
+from repro.circuits import full_suite, quick_suite
+from repro.harness import (
+    HarnessConfig,
+    ExperimentRunner,
+    fig6_series,
+    fig6_summary,
+    render_fig6,
+)
+
+pytestmark = pytest.mark.benchmark(group="fig6")
+
+_TIME_LIMIT = 60.0
+_CONFIG = HarnessConfig(time_limit=_TIME_LIMIT, max_bound=25, run_bdds=False)
+
+
+def _run(instances):
+    return ExperimentRunner(_CONFIG).run_suite(instances)
+
+
+def test_fig6_full_suite(benchmark, save_artifact):
+    records = benchmark.pedantic(_run, args=(full_suite(),), rounds=1, iterations=1)
+    save_artifact("fig6_full.txt", render_fig6(records, time_limit=_TIME_LIMIT))
+    save_artifact("fig6_full.csv",
+                  render_fig6(records, time_limit=_TIME_LIMIT, as_csv=True))
+    series = fig6_series(records, time_limit=_TIME_LIMIT)
+    # Every engine produced a monotone curve over the same population.
+    for engine, curve in series.items():
+        assert curve == sorted(curve)
+        assert len(curve) == len(records)
+    # Sanity on the headline claim: every engine solves most of the suite.
+    for row in fig6_summary(records):
+        engine, total, solved = row[0], row[1], row[2]
+        assert solved >= total // 2, f"{engine} solved too few instances"
+
+
+def test_fig6_quick_subset(benchmark, save_artifact):
+    records = benchmark.pedantic(_run, args=(quick_suite(),), rounds=1, iterations=1)
+    save_artifact("fig6_quick.txt", render_fig6(records, time_limit=_TIME_LIMIT))
+    assert len(records) == len(quick_suite())

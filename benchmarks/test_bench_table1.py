@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Table I (per-instance engine comparison).
+
+Two granularities are provided:
+
+* ``test_table1_academic_block`` / ``test_table1_industrial_block`` run the
+  full Table I protocol (BDD baseline + the four engines) on each block of
+  the suite and archive the rendered table under ``benchmarks/results/``;
+* the ``test_table1_row_*`` benchmarks time a handful of representative
+  single rows, which is what pytest-benchmark's statistics are most useful
+  for.
+"""
+
+import pytest
+
+from repro.circuits import academic_suite, get_instance, industrial_suite
+from repro.harness import HarnessConfig, ExperimentRunner, render_table1
+
+pytestmark = pytest.mark.benchmark(group="table1")
+
+_CONFIG = HarnessConfig(time_limit=60.0, max_bound=25,
+                        bdd_node_limit=200_000, bdd_time_limit=20.0)
+
+
+def _run_block(instances):
+    runner = ExperimentRunner(_CONFIG)
+    return runner.run_suite(instances)
+
+
+def test_table1_academic_block(benchmark, save_artifact):
+    records = benchmark.pedantic(_run_block, args=(academic_suite(),),
+                                 rounds=1, iterations=1)
+    save_artifact("table1_academic.txt", render_table1(records))
+    save_artifact("table1_academic.csv", render_table1(records, as_csv=True))
+    assert all(record.verdict_consistent() for record in records)
+
+
+def test_table1_industrial_block(benchmark, save_artifact):
+    records = benchmark.pedantic(_run_block, args=(industrial_suite(),),
+                                 rounds=1, iterations=1)
+    save_artifact("table1_industrial.txt", render_table1(records))
+    save_artifact("table1_industrial.csv", render_table1(records, as_csv=True))
+    assert all(record.verdict_consistent() for record in records)
+
+
+@pytest.mark.parametrize("name", ["ring04", "mutex", "traffic1", "modcnt12", "cnt08"])
+def test_table1_row(benchmark, name):
+    instance = get_instance(name)
+    runner = ExperimentRunner(_CONFIG)
+    record = benchmark.pedantic(runner.run_instance, args=(instance,),
+                                rounds=1, iterations=1)
+    assert record.verdict_consistent()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Falsification example: hunting a deep counterexample with BMC and the engines.
+
+The combination-lock circuit only fails after the correct symbol sequence
+has been entered, which makes the bug invisible to random simulation but
+easy prey for SAT-based search.  The example compares:
+
+* plain bounded model checking with the three check formulations
+  (bound-k / exact-k / assume-k, Section II-A of the paper);
+* the four unbounded engines, which all fall back to BMC behaviour on
+  falsifiable properties — the affinity the paper stresses.
+
+Run with:  python examples/bmc_falsification.py
+"""
+
+from repro.bmc import BmcCheckKind, BmcEngine
+from repro.circuits import combination_lock
+from repro.core import ENGINES, EngineOptions, run_engine
+
+
+def describe_trace(model, trace) -> str:
+    frames = []
+    for frame in range(trace.depth + 1):
+        values = trace.input_at(frame)
+        symbol = sum((1 << i) for i, var in enumerate(model.input_vars)
+                     if values.get(var, False))
+        frames.append(str(symbol))
+    return " -> ".join(frames)
+
+
+def main() -> None:
+    model = combination_lock(digits=4, width=2)
+    print(f"model: {model.name}  ({model.num_inputs} inputs, "
+          f"{model.num_latches} latches)")
+    print("property: the lock never opens\n")
+
+    print("-- bounded model checking --")
+    for kind in BmcCheckKind:
+        result = BmcEngine(model, check_kind=kind).run(max_depth=10)
+        assert result.is_failure
+        print(f"{kind.value:6s}: counterexample at depth {result.depth} "
+              f"after {result.sat_calls} SAT calls "
+              f"({result.time_seconds:.2f}s)")
+    trace = BmcEngine(model).run(max_depth=10).trace
+    print(f"\ninput symbols along the counterexample: {describe_trace(model, trace)}")
+    print(f"trace replays on the concrete model: {trace.check(model)}\n")
+
+    print("-- unbounded engines (falsification mode) --")
+    options = EngineOptions(max_bound=12, time_limit=60.0)
+    for name in ENGINES:
+        result = run_engine(name, model, options)
+        print(f"{name:10s}: {result.verdict.value}  k_fp={result.k_fp}  "
+              f"time={result.time_seconds:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

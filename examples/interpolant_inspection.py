@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Inspecting interpolants and interpolation sequences on a concrete refutation.
+
+The example reproduces, step by step, the machinery of Sections II-B/II-C:
+
+1. unroll a modulo counter to a depth at which the property cannot fail and
+   prove the BMC instance unsatisfiable with the proof-logging solver;
+2. extract the full interpolation sequence from that single refutation
+   (Eq. (2)) and print, for each cut, which counter values the element
+   admits — making the "over-approximation of the j-step reachable states"
+   reading of Definition 2 concrete;
+3. verify the Craig conditions and the chain condition with independent
+   SAT checks.
+
+Run with:  python examples/interpolant_inspection.py
+"""
+
+from repro.aig import lit_value, simulate_comb
+from repro.bmc import BmcCheckKind, build_check
+from repro.circuits import modular_counter
+from repro.itp import check_craig_conditions, check_sequence_conditions, extract_sequence
+from repro.sat import SatResult
+
+
+def states_admitted(model, predicate, width):
+    """Enumerate which counter values satisfy an interpolant predicate."""
+    admitted = []
+    for value in range(1 << width):
+        state = {var: (value >> i) & 1 for i, var in enumerate(model.latch_vars)}
+        values = simulate_comb(model.aig, {}, state)
+        if lit_value(values, predicate):
+            admitted.append(value)
+    return admitted
+
+
+def main() -> None:
+    width, modulus, target, depth = 3, 6, 7, 4
+    model = modular_counter(width=width, modulus=modulus, target=target)
+    print(f"model: mod-{modulus} counter, property 'count != {target}' "
+          f"(unreachable), checked at k={depth}\n")
+
+    unroller = build_check(BmcCheckKind.EXACT, model, depth, proof_logging=True)
+    answer = unroller.solver.solve()
+    print(f"exact-{depth} BMC check: {answer.value}")
+    assert answer is SatResult.UNSAT
+    proof = unroller.solver.proof()
+    print(f"refutation: {len(proof)} clauses recorded, "
+          f"{len(proof.core_ids())} in the unsat core\n")
+
+    cut_maps = {j: unroller.cut_var_map(j) for j in range(1, depth + 1)}
+    sequence = extract_sequence(proof, depth + 1, cut_maps, model.aig)
+
+    print("interpolation sequence (which counter values each element admits):")
+    for j in range(1, depth + 1):
+        admitted = states_admitted(model, sequence.element(j), width)
+        exact = sorted({min(step, modulus - 1) if step < modulus else step
+                        for step in range(j + 1)} & set(range(modulus)))
+        print(f"  I_{j}: admits {admitted}   (exact S_0..{j} ⊆ {exact} ∪ ...)")
+
+    print("\nverifying Definition 1 and Definition 2 with independent SAT checks:")
+    for j in range(1, depth + 1):
+        ok_a, ok_b = check_craig_conditions(proof, list(range(1, j + 1)),
+                                            sequence.element(j), model.aig,
+                                            cut_maps[j])
+        print(f"  cut {j}: A => I_{j}: {ok_a},  I_{j} & B unsat: {ok_b}")
+    chain_ok = check_sequence_conditions(proof, sequence.elements, cut_maps, model.aig)
+    print(f"  chain condition I_j & A_j+1 => I_j+1 for all j: {chain_ok}")
+
+
+if __name__ == "__main__":
+    main()

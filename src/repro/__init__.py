@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Interpolation Sequences Revisited" (DATE 2011).
+
+The package provides, in pure Python:
+
+* an And-Inverter-Graph circuit substrate with AIGER I/O (:mod:`repro.aig`);
+* a proof-logging CDCL SAT solver (:mod:`repro.sat`) and Tseitin encoding
+  (:mod:`repro.cnf`);
+* Craig interpolation and interpolation sequences over resolution proofs
+  (:mod:`repro.itp`);
+* bounded model checking with the bound-k / exact-k / assume-k check
+  formulations (:mod:`repro.bmc`);
+* the four unbounded model-checking engines compared in the paper —
+  standard interpolation, interpolation sequences, serial interpolation
+  sequences and interpolation sequences with counterexample-based
+  abstraction (:mod:`repro.core`, :mod:`repro.abstraction`);
+* a BDD engine for exact reachability and circuit diameters
+  (:mod:`repro.bdd`);
+* synthetic benchmark circuits and the experiment harness regenerating the
+  paper's Table I, Fig. 6 and Fig. 7 (:mod:`repro.circuits`,
+  :mod:`repro.harness`).
+
+Quickstart
+----------
+>>> from repro.circuits import token_ring
+>>> from repro.core import run_engine
+>>> result = run_engine("itpseq", token_ring(4))
+>>> result.verdict.value
+'pass'
+"""
+
+from .aig import Aig, AigBuilder, Model, read_aag, write_aag
+from .bmc import BmcCheckKind, BmcEngine, Trace
+from .core import (
+    ENGINES,
+    EngineOptions,
+    ItpEngine,
+    ItpSeqCbaEngine,
+    ItpSeqEngine,
+    Portfolio,
+    SerialItpSeqEngine,
+    Verdict,
+    VerificationResult,
+    run_engine,
+)
+from .sat import CdclSolver, SatResult
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Aig",
+    "AigBuilder",
+    "Model",
+    "read_aag",
+    "write_aag",
+    "BmcCheckKind",
+    "BmcEngine",
+    "Trace",
+    "ENGINES",
+    "EngineOptions",
+    "ItpEngine",
+    "ItpSeqCbaEngine",
+    "ItpSeqEngine",
+    "Portfolio",
+    "SerialItpSeqEngine",
+    "Verdict",
+    "VerificationResult",
+    "run_engine",
+    "CdclSolver",
+    "SatResult",
+    "__version__",
+]

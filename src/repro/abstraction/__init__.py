@@ -1,0 +1,12 @@
+"""Localization abstraction and counterexample-based refinement (CBA)."""
+
+from .cba import ExtensionOutcome, choose_refinement, extend_counterexample
+from .localization import LocalizationAbstraction, property_support_latches
+
+__all__ = [
+    "ExtensionOutcome",
+    "choose_refinement",
+    "extend_counterexample",
+    "LocalizationAbstraction",
+    "property_support_latches",
+]

@@ -1,0 +1,68 @@
+"""And-Inverter Graph circuit substrate.
+
+Public surface:
+
+* :class:`Aig`, :class:`Latch`, :class:`AndGate` and the literal helpers —
+  the bit-level circuit representation;
+* :class:`AigBuilder` — word-level construction DSL;
+* :class:`Model`, :class:`StateCube` — an AIG plus one safety property;
+* :func:`read_aag` / :func:`write_aag` — ASCII AIGER interchange;
+* simulation and structural utilities.
+"""
+
+from .aig import (
+    FALSE,
+    TRUE,
+    Aig,
+    AndGate,
+    Latch,
+    lit_from_var,
+    lit_is_const,
+    lit_negate,
+    lit_sign,
+    lit_var,
+)
+from .aiger import AigerError, dumps_aag, loads_aag, read_aag, write_aag
+from .builder import AigBuilder, Word
+from .model import Model, StateCube
+from .ops import (
+    LiteralMapper,
+    cone_of_influence,
+    cone_size,
+    coi_reduce,
+    copy_cone,
+    structural_levels,
+)
+from .simulate import SequentialSimulator, lit_value, simulate_comb, simulate_sequence
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Aig",
+    "AndGate",
+    "Latch",
+    "lit_from_var",
+    "lit_is_const",
+    "lit_negate",
+    "lit_sign",
+    "lit_var",
+    "AigerError",
+    "dumps_aag",
+    "loads_aag",
+    "read_aag",
+    "write_aag",
+    "AigBuilder",
+    "Word",
+    "Model",
+    "StateCube",
+    "LiteralMapper",
+    "cone_of_influence",
+    "cone_size",
+    "coi_reduce",
+    "copy_cone",
+    "structural_levels",
+    "SequentialSimulator",
+    "lit_value",
+    "simulate_comb",
+    "simulate_sequence",
+]

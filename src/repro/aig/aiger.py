@@ -1,0 +1,274 @@
+"""Reader and writer for the ASCII AIGER format (``.aag``).
+
+Only the ASCII variant is supported (the binary ``.aig`` delta encoding is
+not needed for the reproduction, since our benchmark circuits are generated
+programmatically), but the reader accepts the common extensions used by
+hardware model-checking benchmarks:
+
+* the extended header ``M I L O A B C`` with bad-state and constraint
+  literals;
+* latch reset values (``latch next [init]``) where init may be ``0``, ``1``
+  or the latch literal itself (uninitialised);
+* the symbol table (``i<idx> name``, ``l<idx> name``, ``o<idx> name``,
+  ``b<idx> name``) and comment section.
+
+When a file carries no explicit bad literal, outputs are interpreted as bad
+literals, matching the pre-AIGER-1.9 convention used by older HWMCC sets.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, TextIO, Union
+
+from .aig import Aig, lit_negate, lit_sign, lit_var
+
+__all__ = ["read_aag", "write_aag", "loads_aag", "dumps_aag", "AigerError"]
+
+
+class AigerError(ValueError):
+    """Raised on malformed AIGER input."""
+
+
+def _parse_header(line: str) -> List[int]:
+    parts = line.split()
+    if not parts or parts[0] != "aag":
+        raise AigerError(f"expected 'aag' header, got {line!r}")
+    try:
+        fields = [int(x) for x in parts[1:]]
+    except ValueError as exc:
+        raise AigerError(f"non-integer field in header {line!r}") from exc
+    if len(fields) < 5:
+        raise AigerError(f"header needs at least M I L O A, got {line!r}")
+    while len(fields) < 7:
+        fields.append(0)
+    return fields
+
+
+def loads_aag(text: str) -> Aig:
+    """Parse an ASCII AIGER document from a string."""
+    return read_aag(io.StringIO(text))
+
+
+def read_aag(source: Union[str, TextIO]) -> Aig:
+    """Read an ASCII AIGER file from a path or file object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_aag(handle)
+
+    lines = [line.rstrip("\n") for line in source]
+    if not lines:
+        raise AigerError("empty AIGER input")
+    max_var, n_in, n_latch, n_out, n_and, n_bad, n_constr = _parse_header(lines[0])
+
+    body = lines[1:]
+    needed = n_in + n_latch + n_out + n_bad + n_constr + n_and
+    if len(body) < needed:
+        raise AigerError(
+            f"AIGER body too short: need {needed} definition lines, found {len(body)}")
+
+    aig = Aig("aiger")
+    # The AIGER literal numbering must be preserved exactly, so pre-allocate
+    # variables and remember the role of each.
+    lit_of_var: Dict[int, int] = {0: 0}
+
+    pos = 0
+    input_lits: List[int] = []
+    for _ in range(n_in):
+        lit = int(body[pos].split()[0])
+        pos += 1
+        if lit_sign(lit) or lit == 0:
+            raise AigerError(f"input literal must be positive and even, got {lit}")
+        input_lits.append(lit)
+
+    latch_defs: List[List[str]] = []
+    for _ in range(n_latch):
+        latch_defs.append(body[pos].split())
+        pos += 1
+
+    output_lits = [int(body[pos + i].split()[0]) for i in range(n_out)]
+    pos += n_out
+    bad_lits = [int(body[pos + i].split()[0]) for i in range(n_bad)]
+    pos += n_bad
+    constraint_lits = [int(body[pos + i].split()[0]) for i in range(n_constr)]
+    pos += n_constr
+
+    and_defs: List[List[int]] = []
+    for _ in range(n_and):
+        fields = body[pos].split()
+        pos += 1
+        if len(fields) != 3:
+            raise AigerError(f"AND line must have 3 literals: {fields}")
+        and_defs.append([int(f) for f in fields])
+
+    # Build the AIG preserving the original variable indices.  We exploit the
+    # fact that Aig.new_var allocates consecutively, creating placeholders in
+    # AIGER order: inputs, latches, then ANDs must appear with increasing
+    # variable index per the format.
+    var_kind: Dict[int, str] = {}
+    for lit in input_lits:
+        var_kind[lit_var(lit)] = "input"
+    for fields in latch_defs:
+        var_kind[lit_var(int(fields[0]))] = "latch"
+    for lhs, _, _ in and_defs:
+        if lit_sign(lhs):
+            raise AigerError(f"AND output literal must be even, got {lhs}")
+        var_kind[lit_var(lhs)] = "and"
+
+    remap: Dict[int, int] = {0: 0}
+
+    def map_lit(lit: int) -> int:
+        var = lit_var(lit)
+        if var not in remap:
+            raise AigerError(f"literal {lit} used before definition")
+        mapped = remap[var]
+        return lit_negate(mapped) if lit_sign(lit) else mapped
+
+    for idx, lit in enumerate(input_lits):
+        remap[lit_var(lit)] = aig.add_input(name=f"i{idx}")
+
+    latch_handles: List[int] = []
+    for idx, fields in enumerate(latch_defs):
+        lit = int(fields[0])
+        init: Optional[int] = 0
+        if len(fields) >= 3:
+            raw = int(fields[2])
+            if raw == 0:
+                init = 0
+            elif raw == 1:
+                init = 1
+            elif raw == lit:
+                init = None
+            else:
+                raise AigerError(f"invalid latch reset value {raw} for latch {lit}")
+        handle = aig.add_latch(init=init, name=f"l{idx}")
+        remap[lit_var(lit)] = handle
+        latch_handles.append(handle)
+
+    for lhs, rhs0, rhs1 in and_defs:
+        remap[lit_var(lhs)] = aig.add_and(map_lit(rhs0), map_lit(rhs1))
+
+    for idx, fields in enumerate(latch_defs):
+        next_lit = int(fields[1])
+        aig.set_latch_next(latch_handles[idx], map_lit(next_lit))
+
+    for idx, lit in enumerate(output_lits):
+        aig.add_output(map_lit(lit), name=f"o{idx}")
+    for idx, lit in enumerate(bad_lits):
+        aig.add_bad(map_lit(lit), name=f"b{idx}")
+    for lit in constraint_lits:
+        # AIGER constraints state a literal that must hold; internally we store
+        # the literal that is assumed true.
+        aig.add_constraint(map_lit(lit))
+
+    # Pre-1.9 convention: no bad literals -> treat outputs as bad.
+    if not bad_lits and output_lits:
+        for idx, lit in enumerate(output_lits):
+            aig.add_bad(map_lit(lit), name=f"o{idx}")
+
+    _apply_symbol_table(aig, body[pos:], input_lits, latch_defs)
+    _ = max_var  # header M field is informational only
+    return aig
+
+
+def _apply_symbol_table(aig: Aig, tail: List[str], input_lits, latch_defs) -> None:
+    for line in tail:
+        if line.startswith("c"):
+            break
+        if not line or line[0] not in "ilob":
+            continue
+        kind = line[0]
+        rest = line[1:].split(None, 1)
+        if len(rest) != 2:
+            continue
+        try:
+            idx = int(rest[0])
+        except ValueError:
+            continue
+        name = rest[1]
+        if kind == "i" and idx < len(aig.input_vars()):
+            aig._input_names[aig.input_vars()[idx]] = name  # noqa: SLF001
+        elif kind == "l" and idx < aig.num_latches:
+            var = aig.latch_vars()[idx]
+            old = aig.latch(var)
+            aig._latches[var] = type(old)(var=old.var, next=old.next,
+                                          init=old.init, name=name)  # noqa: SLF001
+        elif kind == "o" and idx < len(aig.outputs):
+            aig._output_names[idx] = name  # noqa: SLF001
+        elif kind == "b" and idx < len(aig.bad):
+            aig._bad_names[idx] = name  # noqa: SLF001
+
+
+def dumps_aag(aig: Aig) -> str:
+    """Serialise an AIG to an ASCII AIGER string."""
+    buffer = io.StringIO()
+    write_aag(aig, buffer)
+    return buffer.getvalue()
+
+
+def write_aag(aig: Aig, destination: Union[str, TextIO]) -> None:
+    """Write an AIG to a path or file object in ASCII AIGER format.
+
+    The writer renumbers variables into the canonical AIGER order
+    (inputs, latches, ANDs) so any AIG — including ones built
+    programmatically with interleaved node creation — round-trips.
+    """
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_aag(aig, handle)
+            return
+
+    # Renumber: inputs first, then latches, then ANDs in topological order.
+    remap: Dict[int, int] = {0: 0}
+    next_var = 1
+    for var in aig.input_vars():
+        remap[var] = next_var
+        next_var += 1
+    for var in aig.latch_vars():
+        remap[var] = next_var
+        next_var += 1
+    for gate in aig.iter_and_gates():
+        remap[gate.var] = next_var
+        next_var += 1
+
+    def map_lit(lit: int) -> int:
+        mapped = remap[lit_var(lit)] * 2
+        return mapped + 1 if lit_sign(lit) else mapped
+
+    max_var = next_var - 1
+    lines = [
+        f"aag {max_var} {aig.num_inputs} {aig.num_latches} "
+        f"{len(aig.outputs)} {aig.num_ands} {len(aig.bad)} {len(aig.constraints)}"
+    ]
+    for var in aig.input_vars():
+        lines.append(str(remap[var] * 2))
+    for latch in aig.latches:
+        lit = remap[latch.var] * 2
+        if latch.init is None:
+            reset = lit
+        else:
+            reset = latch.init
+        lines.append(f"{lit} {map_lit(latch.next)} {reset}")
+    for lit in aig.outputs:
+        lines.append(str(map_lit(lit)))
+    for lit in aig.bad:
+        lines.append(str(map_lit(lit)))
+    for lit in aig.constraints:
+        lines.append(str(map_lit(lit)))
+    for gate in aig.iter_and_gates():
+        left, right = map_lit(gate.left), map_lit(gate.right)
+        if left < right:
+            left, right = right, left
+        lines.append(f"{remap[gate.var] * 2} {left} {right}")
+    for idx, var in enumerate(aig.input_vars()):
+        lines.append(f"i{idx} {aig.input_name(var)}")
+    for idx, latch in enumerate(aig.latches):
+        if latch.name:
+            lines.append(f"l{idx} {latch.name}")
+    for idx in range(len(aig.outputs)):
+        lines.append(f"o{idx} {aig.output_name(idx)}")
+    for idx in range(len(aig.bad)):
+        lines.append(f"b{idx} {aig.bad_name(idx)}")
+    lines.append("c")
+    lines.append("generated by repro (Interpolation Sequences Revisited reproduction)")
+    destination.write("\n".join(lines) + "\n")

@@ -1,0 +1,190 @@
+"""Structural operations on AIGs.
+
+This module hosts the transformations used by the model-checking engines:
+
+* cone-of-influence (COI) reduction with respect to a property literal;
+* literal copying between AIGs (the primitive behind COI reduction,
+  localization abstraction and interpolant import);
+* simple structural statistics (levels, cone sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .aig import FALSE, TRUE, Aig, lit_negate, lit_sign, lit_var
+
+__all__ = [
+    "copy_cone",
+    "LiteralMapper",
+    "cone_of_influence",
+    "coi_reduce",
+    "structural_levels",
+    "cone_size",
+]
+
+
+class LiteralMapper:
+    """Incrementally copies literals from a source AIG into a destination AIG.
+
+    The mapper memoises already-copied nodes, so repeated calls share
+    structure in the destination.  Leaves (inputs and latches) must be
+    pre-seeded through ``map_leaf`` or the ``leaf_map`` constructor argument;
+    unseeded leaves raise ``KeyError`` so silent mis-wiring cannot happen.
+    """
+
+    def __init__(
+        self,
+        src: Aig,
+        dst: Aig,
+        leaf_map: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        #: variable in ``src`` -> literal in ``dst``
+        self._var_map: Dict[int, int] = {0: FALSE}
+        if leaf_map:
+            for var, lit in leaf_map.items():
+                self._var_map[var] = lit
+
+    def map_leaf(self, src_var: int, dst_lit: int) -> None:
+        """Declare how a source input/latch variable maps into the destination."""
+        self._var_map[src_var] = dst_lit
+
+    def has_mapping(self, src_var: int) -> bool:
+        return src_var in self._var_map
+
+    def copy_lit(self, lit: int) -> int:
+        """Copy (recursively) a source literal; return the destination literal."""
+        var = lit_var(lit)
+        mapped = self._copy_var(var)
+        return lit_negate(mapped) if lit_sign(lit) else mapped
+
+    def _copy_var(self, var: int) -> int:
+        cached = self._var_map.get(var)
+        if cached is not None:
+            return cached
+        kind = self.src.node_kind(var)
+        if kind != "and":
+            raise KeyError(
+                f"leaf variable {var} ({kind}) has no mapping into the destination AIG")
+        # Iterative post-order copy to avoid recursion limits on deep cones.
+        stack = [var]
+        while stack:
+            v = stack[-1]
+            if v in self._var_map:
+                stack.pop()
+                continue
+            gate = self.src.and_gate(v)
+            left_var, right_var = lit_var(gate.left), lit_var(gate.right)
+            pending = []
+            for u in (left_var, right_var):
+                if u not in self._var_map:
+                    if self.src.node_kind(u) != "and":
+                        raise KeyError(
+                            f"leaf variable {u} ({self.src.node_kind(u)}) has no mapping "
+                            "into the destination AIG")
+                    pending.append(u)
+            if pending:
+                stack.extend(pending)
+                continue
+            left = self._map_lit_shallow(gate.left)
+            right = self._map_lit_shallow(gate.right)
+            self._var_map[v] = self.dst.add_and(left, right)
+            stack.pop()
+        return self._var_map[var]
+
+    def _map_lit_shallow(self, lit: int) -> int:
+        mapped = self._var_map[lit_var(lit)]
+        return lit_negate(mapped) if lit_sign(lit) else mapped
+
+
+def copy_cone(
+    src: Aig,
+    dst: Aig,
+    roots: Sequence[int],
+    leaf_map: Mapping[int, int],
+) -> List[int]:
+    """Copy the combinational cones of ``roots`` from ``src`` into ``dst``.
+
+    ``leaf_map`` maps source input/latch variables to destination literals.
+    Returns the destination literals corresponding to ``roots``.
+    """
+    mapper = LiteralMapper(src, dst, leaf_map)
+    return [mapper.copy_lit(root) for root in roots]
+
+
+def cone_of_influence(aig: Aig, roots: Iterable[int]) -> Tuple[Set[int], Set[int]]:
+    """Return ``(input_vars, latch_vars)`` in the *sequential* cone of ``roots``.
+
+    Unlike :meth:`Aig.support`, latch next-state functions are followed
+    transitively, so the result is the set of state variables that can ever
+    influence the root literals.
+    """
+    inputs: Set[int] = set()
+    latches: Set[int] = set()
+    frontier = list(roots)
+    visited_lits: Set[int] = set()
+    while frontier:
+        lit = frontier.pop()
+        if lit in visited_lits:
+            continue
+        visited_lits.add(lit)
+        ins, lats = aig.support([lit])
+        inputs.update(ins)
+        new_latches = [v for v in lats if v not in latches]
+        latches.update(lats)
+        for var in new_latches:
+            frontier.append(aig.latch(var).next)
+    return inputs, latches
+
+
+def coi_reduce(aig: Aig, bad_index: int = 0) -> Tuple[Aig, Dict[int, int]]:
+    """Build a new AIG containing only the sequential cone of one bad literal.
+
+    Returns the reduced AIG and a mapping ``old latch var -> new latch var``.
+    Inputs and latches outside the cone are dropped; the single bad literal of
+    the result is the copied property.
+    """
+    if not aig.bad:
+        raise ValueError("AIG has no bad literal to reduce against")
+    bad_lit = aig.bad[bad_index]
+    roots = [bad_lit] + aig.constraints
+    input_vars, latch_vars = cone_of_influence(aig, roots)
+
+    reduced = Aig(f"{aig.name}_coi")
+    leaf_map: Dict[int, int] = {}
+    latch_map: Dict[int, int] = {}
+    for var in aig.input_vars():
+        if var in input_vars:
+            leaf_map[var] = reduced.add_input(aig.input_name(var))
+    kept_latches = [latch for latch in aig.latches if latch.var in latch_vars]
+    for latch in kept_latches:
+        new_lit = reduced.add_latch(init=latch.init, name=latch.name)
+        leaf_map[latch.var] = new_lit
+        latch_map[latch.var] = lit_var(new_lit)
+
+    mapper = LiteralMapper(aig, reduced, leaf_map)
+    for latch in kept_latches:
+        reduced.set_latch_next(leaf_map[latch.var], mapper.copy_lit(latch.next))
+    reduced.add_bad(mapper.copy_lit(bad_lit), aig.bad_name(bad_index))
+    for constraint in aig.constraints:
+        reduced.add_constraint(mapper.copy_lit(constraint))
+    return reduced, latch_map
+
+
+def structural_levels(aig: Aig) -> Dict[int, int]:
+    """Return the logic level (longest path from a leaf) of every variable."""
+    levels: Dict[int, int] = {0: 0}
+    for var in aig.input_vars():
+        levels[var] = 0
+    for latch in aig.latches:
+        levels[latch.var] = 0
+    for gate in aig.iter_and_gates():
+        levels[gate.var] = 1 + max(levels[lit_var(gate.left)], levels[lit_var(gate.right)])
+    return levels
+
+
+def cone_size(aig: Aig, root: int) -> int:
+    """Number of AND gates in the combinational cone of a literal."""
+    return sum(1 for v in aig.fanin_cone([root]) if aig.is_and(v))

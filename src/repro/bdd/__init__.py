@@ -1,0 +1,15 @@
+"""BDD engine: ROBDD manager, exact reachability, circuit diameters."""
+
+from .bdd import BddError, BddManager
+from .checker import BddVerdict, check_with_bdds
+from .reach import BddReachability, DiameterReport, ReachabilityResult
+
+__all__ = [
+    "BddError",
+    "BddManager",
+    "BddVerdict",
+    "check_with_bdds",
+    "BddReachability",
+    "DiameterReport",
+    "ReachabilityResult",
+]

@@ -1,0 +1,66 @@
+"""A convenience BDD-based invariant checker.
+
+Wraps :class:`~repro.bdd.reach.BddReachability` behind the same
+result vocabulary the SAT-based engines use, so the harness and the
+test-suite can use BDD reachability as a ground-truth oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..aig.model import Model
+from .reach import BddReachability, DiameterReport
+
+__all__ = ["BddVerdict", "check_with_bdds"]
+
+
+@dataclass
+class BddVerdict:
+    """Exact verification verdict plus diameter information."""
+
+    status: str                      # "pass", "fail" or "overflow"
+    d_f: Optional[int]
+    d_b: Optional[int]
+    failure_depth: Optional[int]
+    num_reachable_states: Optional[int]
+    time_forward: float
+    time_backward: float
+    time_seconds: float
+
+    @property
+    def is_pass(self) -> bool:
+        return self.status == "pass"
+
+    @property
+    def is_fail(self) -> bool:
+        return self.status == "fail"
+
+
+def check_with_bdds(model: Model, max_nodes: Optional[int] = 500_000,
+                    time_limit: Optional[float] = None) -> BddVerdict:
+    """Run exact forward + backward reachability; return the combined verdict."""
+    started = time.monotonic()
+    try:
+        engine = BddReachability(model, max_nodes=max_nodes, time_limit=time_limit)
+        report: DiameterReport = engine.diameters()
+    except Exception:
+        elapsed = time.monotonic() - started
+        return BddVerdict(status="overflow", d_f=None, d_b=None, failure_depth=None,
+                          num_reachable_states=None, time_forward=elapsed,
+                          time_backward=0.0, time_seconds=elapsed)
+    failure_depth = report.forward.failure_depth
+    if failure_depth is None:
+        failure_depth = report.backward.failure_depth
+    return BddVerdict(
+        status=report.verdict,
+        d_f=report.d_f if report.forward.status != "overflow" else None,
+        d_b=report.d_b if report.backward.status != "overflow" else None,
+        failure_depth=failure_depth,
+        num_reachable_states=report.forward.num_states,
+        time_forward=report.forward.time_seconds,
+        time_backward=report.backward.time_seconds,
+        time_seconds=time.monotonic() - started,
+    )

@@ -1,0 +1,24 @@
+"""Bounded model checking: unrolling, check formulations, falsification engine."""
+
+from .cex import Trace
+from .checks import (
+    BmcCheckKind,
+    build_assume_check,
+    build_bound_check,
+    build_check,
+    build_exact_check,
+)
+from .engine import BmcEngine, BmcResult
+from .unroll import Unroller
+
+__all__ = [
+    "Trace",
+    "BmcCheckKind",
+    "build_assume_check",
+    "build_bound_check",
+    "build_check",
+    "build_exact_check",
+    "BmcEngine",
+    "BmcResult",
+    "Unroller",
+]

@@ -1,0 +1,118 @@
+"""The three BMC check formulations of Section II-A / III.
+
+For a bound ``k`` and a model (S₀, T, p) the paper distinguishes:
+
+* ``bound-k``        — bmcᵏ_B = S₀ ∧ Tᵏ ∧ ⋁_{i=1..k} ¬p(Vⁱ)
+* ``exact-k``        — bmcᵏ_E = S₀ ∧ Tᵏ ∧ ¬p(Vᵏ)
+* ``exact-assume-k`` — bmcᵏ_A = S₀ ∧ Tᵏ ∧ ⋀_{i=1..k-1} p(Vⁱ) ∧ ¬p(Vᵏ)
+
+Standard interpolation requires the bound formulation (the B term must
+forbid failures at *any* depth); interpolation sequences work with exact or
+assume checks, and the paper's Fig. 7 experiment compares the two.
+
+Each builder loads the formula into a fresh (or caller-supplied) solver via
+an :class:`~repro.bmc.unroll.Unroller`, labelling clauses with the Γ
+partition indices described there, and returns the unroller for cut-map /
+trace extraction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from ..aig.model import Model
+from ..sat.solver import CdclSolver
+from .unroll import Unroller
+
+__all__ = ["BmcCheckKind", "build_check", "build_bound_check", "build_exact_check",
+           "build_assume_check"]
+
+
+class BmcCheckKind(enum.Enum):
+    """Which of the three BMC formulations to build."""
+
+    BOUND = "bound"
+    EXACT = "exact"
+    ASSUME = "assume"
+
+
+def _prepare(model: Model, k: int, solver: Optional[CdclSolver],
+             proof_logging: bool) -> Unroller:
+    if k < 1:
+        raise ValueError(f"BMC bound must be >= 1, got {k}")
+    if solver is None:
+        solver = CdclSolver(proof_logging=proof_logging)
+    unroller = Unroller(model, solver)
+    return unroller
+
+
+def _unroll_transitions(unroller: Unroller, k: int,
+                        initial: Optional[Callable[[Unroller], None]]) -> None:
+    """Emit S₀ (partition 1) and the k transitions (partitions 1..k)."""
+    if initial is None:
+        unroller.assert_initial_state(partition=1)
+    else:
+        initial(unroller)
+    for frame in range(k):
+        unroller.add_transition(frame, partition=frame + 1)
+
+
+def build_exact_check(model: Model, k: int, solver: Optional[CdclSolver] = None,
+                      proof_logging: bool = True,
+                      initial: Optional[Callable[[Unroller], None]] = None) -> Unroller:
+    """Build bmcᵏ_E: failure exactly at frame ``k`` (earlier frames unconstrained)."""
+    unroller = _prepare(model, k, solver, proof_logging)
+    _unroll_transitions(unroller, k, initial)
+    unroller.assert_bad(k, partition=k + 1)
+    if model.constraints:
+        unroller.assert_constraints_at(k, partition=k + 1)
+    return unroller
+
+
+def build_assume_check(model: Model, k: int, solver: Optional[CdclSolver] = None,
+                       proof_logging: bool = True,
+                       initial: Optional[Callable[[Unroller], None]] = None) -> Unroller:
+    """Build bmcᵏ_A: the property holds at frames 1..k-1 and fails at frame k."""
+    unroller = _prepare(model, k, solver, proof_logging)
+    _unroll_transitions(unroller, k, initial)
+    for frame in range(1, k):
+        unroller.assert_property(frame, partition=frame + 1)
+    unroller.assert_bad(k, partition=k + 1)
+    if model.constraints:
+        unroller.assert_constraints_at(k, partition=k + 1)
+    return unroller
+
+
+def build_bound_check(model: Model, k: int, solver: Optional[CdclSolver] = None,
+                      proof_logging: bool = True,
+                      initial: Optional[Callable[[Unroller], None]] = None) -> Unroller:
+    """Build bmcᵏ_B: failure at *some* frame 1..k.
+
+    All property cones and the final disjunction are placed in partition
+    ``k+1``; only the cut after partition 1 (the standard-interpolation
+    split of Eq. (1)) yields a state-variable interpolant for this
+    formulation, which is exactly how the ITP engine uses it.
+    """
+    unroller = _prepare(model, k, solver, proof_logging)
+    _unroll_transitions(unroller, k, initial)
+    bad_lits = [unroller.bad_literal(frame, partition=k + 1) for frame in range(1, k + 1)]
+    unroller.solver.add_clause(bad_lits, partition=k + 1)
+    if model.constraints:
+        unroller.assert_constraints_at(k, partition=k + 1)
+    return unroller
+
+
+_BUILDERS = {
+    BmcCheckKind.BOUND: build_bound_check,
+    BmcCheckKind.EXACT: build_exact_check,
+    BmcCheckKind.ASSUME: build_assume_check,
+}
+
+
+def build_check(kind: BmcCheckKind, model: Model, k: int,
+                solver: Optional[CdclSolver] = None, proof_logging: bool = True,
+                initial: Optional[Callable[[Unroller], None]] = None) -> Unroller:
+    """Dispatch to the builder for ``kind``."""
+    return _BUILDERS[kind](model, k, solver=solver, proof_logging=proof_logging,
+                           initial=initial)

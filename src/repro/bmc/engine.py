@@ -1,0 +1,117 @@
+"""Iterative-deepening BMC falsification engine.
+
+This is the plain bounded model checker the paper treats as the baseline
+activity ITPSEQs are so close to: unroll to increasing depths, look for a
+counterexample, stop at the first failing depth or at the depth/resource
+limit.  It is used directly by the falsification example, by the CBA
+abstraction loop (on the abstract model) and by several integration tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..aig.model import Model
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SatResult
+from .cex import Trace
+from .checks import BmcCheckKind, build_check
+from .unroll import Unroller
+
+__all__ = ["BmcResult", "BmcEngine"]
+
+
+@dataclass
+class BmcResult:
+    """Outcome of a bounded falsification run.
+
+    ``status`` is one of ``"fail"`` (counterexample found), ``"no_cex"``
+    (no failure up to ``max_depth``) or ``"unknown"`` (resource limit hit).
+    """
+
+    status: str
+    depth: Optional[int] = None
+    trace: Optional[Trace] = None
+    checked_depth: int = 0
+    sat_calls: int = 0
+    time_seconds: float = 0.0
+    per_depth_times: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def is_failure(self) -> bool:
+        return self.status == "fail"
+
+
+class BmcEngine:
+    """Depth-by-depth bounded model checking."""
+
+    def __init__(self, model: Model, check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
+                 validate_traces: bool = True) -> None:
+        self.model = model
+        self.check_kind = check_kind
+        self.validate_traces = validate_traces
+
+    def check_initial_states(self) -> Optional[Trace]:
+        """Return a depth-0 counterexample when an initial state is already bad."""
+        solver = CdclSolver()
+        unroller = Unroller(self.model, solver)
+        unroller.assert_initial_state(partition=1)
+        unroller.assert_bad(0, partition=1)
+        if self.model.constraints:
+            unroller.assert_constraints_at(0, partition=1)
+        if solver.solve() is SatResult.SAT:
+            return unroller.extract_trace(0)
+        return None
+
+    def run(self, max_depth: int, time_limit: Optional[float] = None,
+            conflict_limit: Optional[int] = None) -> BmcResult:
+        """Search for a counterexample of length at most ``max_depth``."""
+        start = time.monotonic()
+        result = BmcResult(status="no_cex")
+
+        trace = self.check_initial_states()
+        result.sat_calls += 1
+        if trace is not None:
+            self._validate(trace)
+            result.status = "fail"
+            result.depth = 0
+            result.trace = trace
+            result.time_seconds = time.monotonic() - start
+            return result
+
+        for depth in range(1, max_depth + 1):
+            remaining = None
+            if time_limit is not None:
+                remaining = time_limit - (time.monotonic() - start)
+                if remaining <= 0:
+                    result.status = "unknown"
+                    break
+            depth_start = time.monotonic()
+            unroller = build_check(self.check_kind, self.model, depth,
+                                   proof_logging=False)
+            budget = Budget(max_conflicts=conflict_limit, max_time=remaining)
+            answer = unroller.solver.solve(budget=budget)
+            result.sat_calls += 1
+            result.per_depth_times[depth] = time.monotonic() - depth_start
+            if answer is SatResult.UNKNOWN:
+                result.status = "unknown"
+                result.checked_depth = depth - 1
+                break
+            if answer is SatResult.SAT:
+                trace = unroller.extract_trace(depth)
+                self._validate(trace)
+                result.status = "fail"
+                result.depth = depth
+                result.trace = trace
+                result.checked_depth = depth
+                break
+            result.checked_depth = depth
+        result.time_seconds = time.monotonic() - start
+        return result
+
+    def _validate(self, trace: Trace) -> None:
+        if self.validate_traces and not trace.check(self.model):
+            raise RuntimeError(
+                "BMC produced a trace that does not replay on the concrete model")

@@ -1,0 +1,51 @@
+"""Synthetic benchmark circuits and the evaluation suite."""
+
+from .generators import (
+    bounded_queue,
+    controller_datapath,
+    combination_lock,
+    counter,
+    gray_counter,
+    modular_counter,
+    mutual_exclusion,
+    parity_chain,
+    pipeline_valid,
+    round_robin_arbiter,
+    shift_register_pattern,
+    token_ring,
+    traffic_light,
+)
+
+__all__ = [
+    "bounded_queue",
+    "controller_datapath",
+    "combination_lock",
+    "counter",
+    "gray_counter",
+    "modular_counter",
+    "mutual_exclusion",
+    "parity_chain",
+    "pipeline_valid",
+    "round_robin_arbiter",
+    "shift_register_pattern",
+    "token_ring",
+    "traffic_light",
+]
+
+from .suite import (
+    SuiteInstance,
+    academic_suite,
+    full_suite,
+    get_instance,
+    industrial_suite,
+    quick_suite,
+)
+
+__all__ += [
+    "SuiteInstance",
+    "academic_suite",
+    "full_suite",
+    "get_instance",
+    "industrial_suite",
+    "quick_suite",
+]

@@ -1,0 +1,435 @@
+"""Parameterised benchmark circuit generators.
+
+The paper evaluates on ~100 HWMCC-class academic netlists plus proprietary
+industrial designs, none of which can be redistributed here.  These
+generators produce synthetic designs that cover the behavioural regimes the
+paper's analysis distinguishes:
+
+* shallow vs. deep forward diameters (counters of different widths and
+  moduli, token rings);
+* small vs. large backward diameters (how close bad states sit to the
+  reachable border);
+* passing properties (safe arbiters, mutual exclusion, bounded queues) and
+  failing properties at controllable depths (buggy variants);
+* mostly-control circuits with few relevant latches (good targets for
+  localization abstraction / CBA) vs. datapath-dominated circuits.
+
+Every generator returns a :class:`~repro.aig.model.Model` whose single bad
+literal encodes the property under check.  Expected verdicts are recorded by
+the suite module so the harness can cross-check engine answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..aig.aig import FALSE, TRUE, lit_negate
+from ..aig.builder import AigBuilder
+from ..aig.model import Model
+
+__all__ = [
+    "counter",
+    "modular_counter",
+    "gray_counter",
+    "token_ring",
+    "round_robin_arbiter",
+    "traffic_light",
+    "bounded_queue",
+    "mutual_exclusion",
+    "pipeline_valid",
+    "shift_register_pattern",
+    "combination_lock",
+    "parity_chain",
+    "controller_datapath",
+]
+
+
+def counter(width: int, target: int, with_enable: bool = True,
+            name: Optional[str] = None) -> Model:
+    """A free-running (optionally enable-gated) binary counter.
+
+    The bad condition is ``count == target``.  With ``target < 2**width``
+    the property fails at depth exactly ``target`` (the enable input can be
+    held high); with ``target >= 2**width`` the property can never fail,
+    but the solver has to discover the wrap-around to prove it.
+    """
+    builder = AigBuilder(name or f"counter{width}_t{target}")
+    count = builder.register(width, init=0, name="count")
+    if with_enable:
+        enable = builder.input_bit("enable")
+        nxt = builder.mux_word(enable, builder.increment(count.q), count.q)
+    else:
+        nxt = builder.increment(count.q)
+    builder.connect(count, nxt)
+    if target < (1 << width):
+        bad = builder.equals_const(count.q, target)
+    else:
+        bad = FALSE
+    builder.aig.add_bad(bad, "count_hits_target")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def modular_counter(width: int, modulus: int, target: int,
+                    name: Optional[str] = None) -> Model:
+    """A counter that wraps at ``modulus`` (not at 2**width).
+
+    Reachable values are 0..modulus-1, so ``target >= modulus`` gives a
+    passing property whose proof requires reasoning about the wrap logic;
+    ``target < modulus`` fails at depth ``target``.  The forward diameter is
+    ``modulus - 1``.
+    """
+    if modulus < 2 or modulus > (1 << width):
+        raise ValueError("modulus must be in [2, 2**width]")
+    builder = AigBuilder(name or f"modcounter{width}_m{modulus}_t{target}")
+    count = builder.register(width, init=0, name="count")
+    enable = builder.input_bit("enable")
+    wrap = builder.equals_const(count.q, modulus - 1)
+    stepped = builder.mux_word(wrap, builder.constant_word(width, 0),
+                               builder.increment(count.q))
+    builder.connect(count, builder.mux_word(enable, stepped, count.q))
+    bad = builder.equals_const(count.q, target) if target < (1 << width) else FALSE
+    builder.aig.add_bad(bad, "count_hits_target")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def gray_counter(width: int, bad_code: Optional[int] = None,
+                 name: Optional[str] = None) -> Model:
+    """A Gray-code counter built as binary counter + output recoding.
+
+    The checked property is that two specific consecutive-looking codes are
+    never equal to ``bad_code`` — unreachable when ``bad_code`` is not a
+    valid Gray encoding of any reachable binary value.
+    """
+    builder = AigBuilder(name or f"gray{width}")
+    count = builder.register(width, init=0, name="bin")
+    builder.connect(count, builder.increment(count.q))
+    gray = [builder.aig.op_xor(count.q[i],
+                               count.q[i + 1] if i + 1 < width else FALSE)
+            for i in range(width)]
+    if bad_code is None:
+        # Property: gray code never has all bits set together with bin == 0,
+        # which is unreachable (bin == 0 gives gray == 0).
+        bad = builder.aig.op_and(builder.equals_const(count.q, 0),
+                                 builder.aig.op_and(*gray))
+    else:
+        bad = builder.equals(gray, builder.constant_word(width, bad_code))
+    builder.aig.add_bad(bad, "gray_bad_code")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def token_ring(stations: int, buggy: bool = False,
+               name: Optional[str] = None) -> Model:
+    """A one-hot token ring.
+
+    The token rotates (when the ``advance`` input is high).  Property: at
+    most one station holds the token.  The ``buggy`` variant lets an
+    ``inject`` input set station 0's token without clearing the others,
+    which breaks the property a few steps in.
+    """
+    builder = AigBuilder(name or f"ring{stations}{'_bug' if buggy else ''}")
+    advance = builder.input_bit("advance")
+    tokens = [builder.register_bit(init=1 if i == 0 else 0, name=f"tok{i}")
+              for i in range(stations)]
+    inject = builder.input_bit("inject") if buggy else FALSE
+    for i in range(stations):
+        prev = tokens[(i - 1) % stations]
+        rotated = builder.aig.op_ite(advance, prev, tokens[i])
+        if buggy and i == 0:
+            rotated = builder.aig.op_or(rotated, inject)
+        builder.connect_bit(tokens[i], rotated)
+    more_than_one = lit_negate(builder.at_most_one(tokens))
+    builder.aig.add_bad(more_than_one, "two_tokens")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def round_robin_arbiter(clients: int, buggy: bool = False,
+                        name: Optional[str] = None) -> Model:
+    """A round-robin arbiter over ``clients`` request lines.
+
+    A one-hot priority token rotates every cycle; a client is granted when
+    it requests and holds the token.  Property: grants are mutually
+    exclusive.  The buggy variant also grants client 0 whenever it requests
+    (ignoring the token), which violates mutual exclusion.
+    """
+    builder = AigBuilder(name or f"arb{clients}{'_bug' if buggy else ''}")
+    requests = [builder.input_bit(f"req{i}") for i in range(clients)]
+    token = [builder.register_bit(init=1 if i == 0 else 0, name=f"prio{i}")
+             for i in range(clients)]
+    for i in range(clients):
+        builder.connect_bit(token[i], token[(i - 1) % clients])
+    grants = [builder.aig.add_and(requests[i], token[i]) for i in range(clients)]
+    if buggy:
+        grants[0] = requests[0]
+    bad = lit_negate(builder.at_most_one(grants))
+    builder.aig.add_bad(bad, "double_grant")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def traffic_light(extra_delay_bits: int = 2, buggy: bool = False,
+                  name: Optional[str] = None) -> Model:
+    """Two traffic lights on crossing roads with a shared delay timer.
+
+    The controller cycles through four phases (A-green, A-yellow, B-green,
+    B-yellow), advancing only when a delay timer expires.  The green lamps
+    are *registered* outputs set from the next phase, so proving the mutual
+    exclusion of the two greens requires reachability reasoning about the
+    phase encoding rather than a purely combinational argument.  The buggy
+    variant also turns lamp B on during A's yellow phase.
+    """
+    builder = AigBuilder(name or f"traffic{extra_delay_bits}{'_bug' if buggy else ''}")
+    # Phase encoding: 0=A-green, 1=A-yellow, 2=B-green, 3=B-yellow.
+    phase = builder.register(2, init=0, name="phase")
+    timer = builder.register(extra_delay_bits, init=0, name="timer")
+    lamp_a = builder.register_bit(init=1, name="lampA")
+    lamp_b = builder.register_bit(init=0, name="lampB")
+    timer_done = builder.equals_const(timer.q, (1 << extra_delay_bits) - 1)
+    next_timer = builder.mux_word(timer_done,
+                                  builder.constant_word(extra_delay_bits, 0),
+                                  builder.increment(timer.q))
+    builder.connect(timer, next_timer)
+    next_phase = builder.mux_word(timer_done, builder.increment(phase.q), phase.q)
+    builder.connect(phase, next_phase)
+    next_a_green = builder.equals_const(next_phase, 0)
+    next_b_green = builder.equals_const(next_phase, 2)
+    if buggy:
+        # Lamp B's driver erroneously ORs in lamp A's current state, so both
+        # lamps light up as soon as direction A holds its green.
+        next_b_green = builder.aig.op_or(next_b_green, lamp_a)
+    builder.connect_bit(lamp_a, next_a_green)
+    builder.connect_bit(lamp_b, next_b_green)
+    builder.aig.add_bad(builder.aig.add_and(lamp_a, lamp_b), "both_green")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def bounded_queue(capacity_bits: int, guarded: bool = True,
+                  name: Optional[str] = None) -> Model:
+    """A producer/consumer occupancy counter.
+
+    ``push`` and ``pop`` inputs move the occupancy up and down; when
+    ``guarded`` the push is ignored at capacity and the pop at zero.
+    Property: occupancy never exceeds capacity.  Unguarded versions fail
+    once the producer pushes past the limit.
+    """
+    builder = AigBuilder(name or f"queue{capacity_bits}{'_safe' if guarded else '_bug'}")
+    capacity = (1 << capacity_bits) - 1
+    occupancy = builder.register(capacity_bits + 1, init=0, name="occ")
+    push = builder.input_bit("push")
+    pop = builder.input_bit("pop")
+    at_capacity = builder.greater_equal_const(occupancy.q, capacity)
+    at_zero = builder.equals_const(occupancy.q, 0)
+    do_push = builder.aig.add_and(push, lit_negate(at_capacity)) if guarded else push
+    do_pop = builder.aig.add_and(pop, lit_negate(at_zero)) if guarded else \
+        builder.aig.add_and(pop, lit_negate(at_zero))
+    only_push = builder.aig.add_and(do_push, lit_negate(do_pop))
+    only_pop = builder.aig.add_and(do_pop, lit_negate(do_push))
+    next_occ = builder.mux_word(only_push, builder.increment(occupancy.q),
+                                builder.mux_word(only_pop,
+                                                 builder.decrement(occupancy.q),
+                                                 occupancy.q))
+    builder.connect(occupancy, next_occ)
+    bad = builder.greater_equal_const(occupancy.q, capacity + 1)
+    builder.aig.add_bad(bad, "overflow")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def mutual_exclusion(buggy: bool = False, name: Optional[str] = None) -> Model:
+    """A two-process mutual-exclusion protocol with a turn variable.
+
+    Each process cycles idle -> trying -> critical -> idle; entry to the
+    critical section requires the shared ``turn`` bit.  Property: the two
+    processes are never both critical.  The buggy variant lets process B
+    enter regardless of the turn.
+    """
+    builder = AigBuilder(name or f"mutex{'_bug' if buggy else ''}")
+    # Per-process state: 0=idle, 1=trying, 2=critical (2-bit encoding).
+    state_a = builder.register(2, init=0, name="procA")
+    state_b = builder.register(2, init=0, name="procB")
+    turn = builder.register_bit(init=0, name="turn")
+    req_a = builder.input_bit("reqA")
+    req_b = builder.input_bit("reqB")
+
+    def process(state, request, my_turn, tag):
+        idle = builder.equals_const(state.q, 0)
+        trying = builder.equals_const(state.q, 1)
+        critical = builder.equals_const(state.q, 2)
+        go_trying = builder.aig.add_and(idle, request)
+        enter = builder.aig.add_and(trying, my_turn)
+        leave = critical
+        nxt = builder.mux_word(go_trying, builder.constant_word(2, 1), state.q)
+        nxt = builder.mux_word(enter, builder.constant_word(2, 2), nxt)
+        nxt = builder.mux_word(leave, builder.constant_word(2, 0), nxt)
+        builder.connect(state, nxt)
+        return idle, trying, critical
+
+    turn_a = lit_negate(turn)
+    turn_b = turn if not buggy else TRUE
+    _, _, crit_a = process(state_a, req_a, turn_a, "A")
+    _, _, crit_b = process(state_b, req_b, turn_b, "B")
+    # Turn flips whenever a process leaves its critical section.
+    leaving = builder.aig.op_or(crit_a, crit_b)
+    builder.connect_bit(turn, builder.aig.op_ite(leaving, lit_negate(turn), turn))
+    builder.aig.add_bad(builder.aig.add_and(crit_a, crit_b), "both_critical")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def pipeline_valid(depth: int, buggy: bool = False,
+                   name: Optional[str] = None) -> Model:
+    """A valid-bit pipeline with a stall input.
+
+    A valid token entering stage 0 marches down the pipeline unless stalled.
+    Property: a token can never appear at the last stage without having
+    appeared at the previous stage one cycle earlier (tracked with a shadow
+    latch).  The buggy variant spontaneously asserts the last stage's valid
+    bit when a glitch input fires.
+    """
+    builder = AigBuilder(name or f"pipe{depth}{'_bug' if buggy else ''}")
+    enqueue = builder.input_bit("enq")
+    stall = builder.input_bit("stall")
+    glitch = builder.input_bit("glitch") if buggy else FALSE
+    valid = [builder.register_bit(init=0, name=f"valid{i}") for i in range(depth)]
+    advance = lit_negate(stall)
+    for i in range(depth):
+        source = enqueue if i == 0 else valid[i - 1]
+        nxt = builder.aig.op_ite(advance, source, valid[i])
+        if buggy and i == depth - 1:
+            nxt = builder.aig.op_or(nxt, glitch)
+        builder.connect_bit(valid[i], nxt)
+    # Shadow latch remembers whether stage depth-2 was valid last cycle or the
+    # last stage was already valid (i.e. a legal reason for valid[depth-1]).
+    legal_reason = builder.aig.op_or(
+        valid[depth - 2] if depth >= 2 else enqueue, valid[depth - 1])
+    shadow = builder.register_bit(init=0, name="shadow")
+    builder.connect_bit(shadow, builder.aig.op_or(legal_reason,
+                                                  builder.aig.add_and(stall, shadow)))
+    bad = builder.aig.add_and(valid[depth - 1], lit_negate(shadow))
+    builder.aig.add_bad(bad, "valid_without_cause")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def shift_register_pattern(length: int, pattern: int, reachable: bool = False,
+                           name: Optional[str] = None) -> Model:
+    """A serial-in shift register checked against a full-register pattern.
+
+    With ``reachable`` the pattern can be shifted in from the serial input
+    (property fails at depth ``length``); otherwise the property compares
+    against a pattern that the interlock on the serial input makes
+    unreachable.
+    """
+    builder = AigBuilder(name or f"shift{length}_{'sat' if reachable else 'unsat'}")
+    serial = builder.input_bit("serial")
+    bits = [builder.register_bit(init=0, name=f"sr{i}") for i in range(length)]
+    # Interlock: when not 'reachable', the injected bit is forced to equal the
+    # current first bit every other position, making alternating patterns
+    # impossible.
+    first = serial if reachable else builder.aig.add_and(serial, bits[0])
+    builder.connect_bit(bits[0], first)
+    for i in range(1, length):
+        builder.connect_bit(bits[i], bits[i - 1])
+    want = [(pattern >> i) & 1 for i in range(length)]
+    match = builder.aig.op_and(*[bits[i] if want[i] else lit_negate(bits[i])
+                                 for i in range(length)])
+    builder.aig.add_bad(match, "pattern_seen")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def combination_lock(digits: int, width: int = 2, code: Optional[List[int]] = None,
+                     name: Optional[str] = None) -> Model:
+    """A sequential combination lock (the classic deep-counterexample design).
+
+    The lock opens only after the correct ``digits``-long sequence of
+    ``width``-bit symbols is entered in order; any wrong symbol resets the
+    progress counter.  Property: the lock never opens — which *fails*, but
+    only at depth ``digits``, making it a controllable-depth falsification
+    target that is hard for random simulation.
+    """
+    builder = AigBuilder(name or f"lock{digits}x{width}")
+    if code is None:
+        code = [(3 * i + 1) % (1 << width) for i in range(digits)]
+    symbol = builder.input_word(width, "sym")
+    progress_bits = max(1, (digits + 1).bit_length())
+    progress = builder.register(progress_bits, init=0, name="progress")
+    opened = builder.register_bit(init=0, name="opened")
+    match_any = FALSE
+    next_progress = builder.constant_word(progress_bits, 0)
+    for step in range(digits):
+        at_step = builder.equals_const(progress.q, step)
+        good = builder.aig.add_and(at_step, builder.equals_const(symbol, code[step]))
+        match_any = builder.aig.op_or(match_any, good)
+        next_progress = builder.mux_word(
+            good, builder.constant_word(progress_bits, step + 1), next_progress)
+    builder.connect(progress, next_progress)
+    done = builder.equals_const(progress.q, digits)
+    builder.connect_bit(opened, builder.aig.op_or(opened, done))
+    builder.aig.add_bad(opened, "lock_opened")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def parity_chain(length: int, buggy: bool = False,
+                 name: Optional[str] = None) -> Model:
+    """A chain of toggling latches with a parity invariant.
+
+    Latch i toggles when latch i-1 is high (a ripple counter in disguise).
+    Property: the parity of the chain equals the parity predicted by a
+    shadow latch — an invariant of the update rule.  The buggy variant
+    breaks the shadow update.
+    """
+    builder = AigBuilder(name or f"parity{length}{'_bug' if buggy else ''}")
+    tick = builder.input_bit("tick")
+    bits = [builder.register_bit(init=0, name=f"c{i}") for i in range(length)]
+    carry = tick
+    for i in range(length):
+        builder.connect_bit(bits[i], builder.aig.op_xor(bits[i], carry))
+        carry = builder.aig.add_and(bits[i], carry)
+    shadow = builder.register_bit(init=0, name="shadow_parity")
+    if buggy:
+        builder.connect_bit(shadow, builder.aig.op_xor(shadow, TRUE))
+    else:
+        builder.connect_bit(shadow, builder.aig.op_xor(shadow, tick))
+    # The low counter bit toggles exactly when tick is high, so it must stay
+    # equal to the shadow latch: a two-latch relational invariant.
+    bad = builder.aig.op_xor(bits[0], shadow)
+    builder.aig.add_bad(bad, "parity_mismatch")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def controller_datapath(data_width: int, stages: int = 3, buggy: bool = False,
+                        name: Optional[str] = None) -> Model:
+    """A small control FSM dragging along a wide, property-irrelevant datapath.
+
+    The controller sequences ``stages`` one-hot phases gated by a ``go``
+    input; a wide accumulator and a shift register churn on the data inputs
+    every cycle.  The property (the one-hot phase encoding never becomes
+    multi-hot) depends only on the controller latches, which makes the
+    design the sweet spot for localization abstraction: SAT-based engines
+    that reason about the whole netlist drag the datapath into every
+    unrolling, while CBA never needs to re-introduce it.  The buggy variant
+    lets a datapath overflow corrupt the phase register.
+    """
+    builder = AigBuilder(name or f"ctrldp{data_width}x{stages}{'_bug' if buggy else ''}")
+    go = builder.input_bit("go")
+    data_in = builder.input_word(data_width, "din")
+
+    # One-hot phase register: phase0 active at reset.
+    phases = [builder.register_bit(init=1 if i == 0 else 0, name=f"ph{i}")
+              for i in range(stages)]
+    advance = builder.aig.op_or(go, phases[stages - 1])
+    for i in range(stages):
+        prev = phases[(i - 1) % stages]
+        builder.connect_bit(phases[i], builder.aig.op_ite(advance, prev, phases[i]))
+
+    # Datapath: accumulator plus a shift pipeline of the data input.
+    accumulator = builder.register(data_width, init=0, name="acc")
+    shifted = builder.register(data_width, init=0, name="shift")
+    total = builder.add_words(accumulator.q, data_in)
+    builder.connect(accumulator, total)
+    builder.connect(shifted, builder.shift_left(shifted.q, fill=data_in[0]))
+
+    multi_hot = lit_negate(builder.at_most_one(phases))
+    if buggy:
+        overflow = builder.equals_const(accumulator.q, (1 << data_width) - 1)
+        corrupt = builder.aig.add_and(overflow, go)
+        # The corrupting pulse sets phase 1 regardless of the rotation.
+        builder.connect_bit(phases[1], builder.aig.op_or(
+            builder.aig.op_ite(advance, phases[0], phases[1]), corrupt))
+    builder.aig.add_bad(multi_hot, "multi_hot_phase")
+    return Model(builder.aig, name=builder.aig.name)

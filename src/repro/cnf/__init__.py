@@ -1,0 +1,24 @@
+"""CNF substrate: clause containers, DIMACS I/O, Tseitin encoding, simplification."""
+
+from .cnf import Clause, Cnf, neg, var_of
+from .dimacs import DimacsError, dumps_dimacs, loads_dimacs, read_dimacs, write_dimacs
+from .simplify import SimplificationResult, simplify_cnf, unit_propagate
+from .tseitin import ClauseSink, TseitinEncoder, encode_combinational
+
+__all__ = [
+    "Clause",
+    "Cnf",
+    "neg",
+    "var_of",
+    "DimacsError",
+    "dumps_dimacs",
+    "loads_dimacs",
+    "read_dimacs",
+    "write_dimacs",
+    "SimplificationResult",
+    "simplify_cnf",
+    "unit_propagate",
+    "ClauseSink",
+    "TseitinEncoder",
+    "encode_combinational",
+]

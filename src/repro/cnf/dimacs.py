@@ -1,0 +1,83 @@
+"""DIMACS CNF reader and writer.
+
+Useful for debugging (dumping BMC instances for inspection with external
+tools) and for loading externally-generated CNF test vectors in the
+test-suite.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+from .cnf import Cnf
+
+__all__ = ["read_dimacs", "write_dimacs", "loads_dimacs", "dumps_dimacs", "DimacsError"]
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def loads_dimacs(text: str) -> Cnf:
+    """Parse a DIMACS document from a string."""
+    return read_dimacs(io.StringIO(text))
+
+
+def read_dimacs(source: Union[str, TextIO]) -> Cnf:
+    """Read a DIMACS CNF file from a path or file object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_dimacs(handle)
+
+    cnf = Cnf()
+    declared_vars = None
+    declared_clauses = None
+    pending: list[int] = []
+    for raw in source:
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"bad problem line: {line!r}")
+            declared_vars, declared_clauses = int(parts[2]), int(parts[3])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        # Tolerate a final clause without the trailing 0.
+        cnf.add_clause(pending)
+    if declared_vars is not None:
+        cnf.num_vars = max(cnf.num_vars, declared_vars)
+    if declared_clauses is not None and declared_clauses != len(cnf.clauses):
+        # Not fatal: many generators emit a slightly wrong count.
+        pass
+    return cnf
+
+
+def dumps_dimacs(cnf: Cnf, comment: str = "") -> str:
+    """Serialise a CNF to a DIMACS string."""
+    buffer = io.StringIO()
+    write_dimacs(cnf, buffer, comment)
+    return buffer.getvalue()
+
+
+def write_dimacs(cnf: Cnf, destination: Union[str, TextIO], comment: str = "") -> None:
+    """Write a CNF in DIMACS format to a path or file object."""
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            write_dimacs(cnf, handle, comment)
+            return
+    if comment:
+        for line in comment.splitlines():
+            destination.write(f"c {line}\n")
+    destination.write(f"p cnf {cnf.num_vars} {len(cnf.clauses)}\n")
+    for clause in cnf.clauses:
+        destination.write(" ".join(str(l) for l in clause.literals) + " 0\n")

@@ -1,0 +1,112 @@
+"""Light-weight CNF preprocessing.
+
+The engines do not require aggressive preprocessing — refutation proofs must
+stay faithful to the original clause set for interpolation — but a few cheap
+simplifications are useful for the BDD checker front-end, the test-suite and
+for shrinking combinational queries:
+
+* unit propagation to a fixed point (reporting a conflict when one arises);
+* removal of satisfied clauses and falsified literals;
+* pure-literal elimination (optional, off by default because it does not
+  preserve logical equivalence, only satisfiability).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .cnf import Clause, Cnf
+
+__all__ = ["unit_propagate", "simplify_cnf", "SimplificationResult"]
+
+
+class SimplificationResult:
+    """Outcome of :func:`simplify_cnf`."""
+
+    def __init__(self, cnf: Optional[Cnf], assignment: Dict[int, bool],
+                 conflict: bool) -> None:
+        #: Simplified formula, or ``None`` when a conflict was derived.
+        self.cnf = cnf
+        #: Forced assignments discovered by unit propagation.
+        self.assignment = assignment
+        #: ``True`` when the formula was shown unsatisfiable by propagation alone.
+        self.conflict = conflict
+
+
+def unit_propagate(cnf: Cnf) -> Tuple[Dict[int, bool], bool]:
+    """Run Boolean constraint propagation on unit clauses.
+
+    Returns ``(assignment, conflict)``: the implied partial assignment and a
+    flag set when complementary units were derived.
+    """
+    assignment: Dict[int, bool] = {}
+    changed = True
+    clauses = [list(c.literals) for c in cnf.clauses]
+    while changed:
+        changed = False
+        for literals in clauses:
+            unassigned: List[int] = []
+            satisfied = False
+            for lit in literals:
+                var = abs(lit)
+                if var in assignment:
+                    if assignment[var] == (lit > 0):
+                        satisfied = True
+                        break
+                else:
+                    unassigned.append(lit)
+            if satisfied:
+                continue
+            if not unassigned:
+                return assignment, True
+            if len(unassigned) == 1:
+                lit = unassigned[0]
+                var, value = abs(lit), lit > 0
+                if var in assignment and assignment[var] != value:
+                    return assignment, True
+                if var not in assignment:
+                    assignment[var] = value
+                    changed = True
+    return assignment, False
+
+
+def simplify_cnf(cnf: Cnf, eliminate_pure: bool = False) -> SimplificationResult:
+    """Simplify a CNF under unit propagation (and optional pure literals).
+
+    The returned formula is over the same variable numbering; forced
+    variables simply no longer appear.
+    """
+    assignment, conflict = unit_propagate(cnf)
+    if conflict:
+        return SimplificationResult(None, assignment, True)
+
+    if eliminate_pure:
+        polarity: Dict[int, Set[bool]] = {}
+        for clause in cnf.clauses:
+            for lit in clause:
+                var = abs(lit)
+                if var in assignment:
+                    continue
+                polarity.setdefault(var, set()).add(lit > 0)
+        for var, signs in polarity.items():
+            if len(signs) == 1:
+                assignment[var] = next(iter(signs))
+
+    simplified = Cnf(num_vars=cnf.num_vars)
+    for clause in cnf.clauses:
+        new_lits: List[int] = []
+        satisfied = False
+        for lit in clause:
+            var = abs(lit)
+            if var in assignment:
+                if assignment[var] == (lit > 0):
+                    satisfied = True
+                    break
+            else:
+                new_lits.append(lit)
+        if satisfied:
+            continue
+        if not new_lits:
+            return SimplificationResult(None, assignment, True)
+        simplified.add_clause(new_lits)
+    return SimplificationResult(simplified, assignment, False)

@@ -1,0 +1,178 @@
+"""Tseitin encoding of AIG cones into CNF.
+
+The encoder maps AIG *variables* to CNF *variables* and AIG literals to
+DIMACS literals.  AND gates are encoded with the standard three clauses::
+
+    out -> left      (-out,  left)
+    out -> right     (-out,  right)
+    left & right -> out   (out, -left, -right)
+
+The encoder is incremental: a single instance can be asked to encode several
+cones; gates already encoded are not re-emitted.  Leaves (inputs and
+latches) must be given CNF variables up front or are allocated on demand,
+depending on the policy selected by the caller — the BMC unroller assigns
+frame-specific variables, while the combinational checker lets the encoder
+allocate freely.
+
+Clauses are emitted through a *sink* callback, so they can be routed either
+into a :class:`~repro.cnf.cnf.Cnf` container or straight into the
+incremental SAT solver, optionally tagged with a partition label (the
+mechanism the interpolation machinery relies on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..aig.aig import FALSE, TRUE, Aig, lit_negate, lit_sign, lit_var
+from .cnf import Cnf
+
+__all__ = ["ClauseSink", "TseitinEncoder", "encode_combinational"]
+
+#: A clause sink receives one clause (list of DIMACS literals) per call.
+ClauseSink = Callable[[List[int]], None]
+
+
+class TseitinEncoder:
+    """Incremental Tseitin encoder for one AIG.
+
+    Parameters
+    ----------
+    aig:
+        The circuit to encode.
+    new_var:
+        Callable allocating fresh CNF variables (e.g. ``cnf.new_var`` or
+        ``solver.new_var``).
+    sink:
+        Callable receiving each emitted clause.
+    allocate_leaves:
+        When ``True`` missing leaf variables are allocated on demand; when
+        ``False`` encoding a cone whose leaves were not declared raises
+        ``KeyError`` (the safe default for time-frame encodings).
+    """
+
+    #: CNF variable reserved for the constant node.  A unit clause pinning it
+    #: to false is emitted lazily the first time the constant is referenced.
+    def __init__(
+        self,
+        aig: Aig,
+        new_var: Callable[[], int],
+        sink: ClauseSink,
+        allocate_leaves: bool = True,
+    ) -> None:
+        self.aig = aig
+        self._new_var = new_var
+        self._sink = sink
+        self._allocate_leaves = allocate_leaves
+        self._var_map: Dict[int, int] = {}
+        self._const_var: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Variable mapping
+    # ------------------------------------------------------------------ #
+    def declare_leaf(self, aig_var: int, cnf_var: int) -> None:
+        """Pre-assign the CNF variable of an input/latch variable."""
+        self._var_map[aig_var] = cnf_var
+
+    def has_var(self, aig_var: int) -> bool:
+        return aig_var in self._var_map
+
+    def cnf_var(self, aig_var: int) -> int:
+        """Return the CNF variable already assigned to ``aig_var``."""
+        return self._var_map[aig_var]
+
+    def var_map(self) -> Dict[int, int]:
+        """Return a copy of the current AIG-var -> CNF-var mapping."""
+        return dict(self._var_map)
+
+    def _const_false_var(self) -> int:
+        if self._const_var is None:
+            self._const_var = self._new_var()
+            # Variable is forced false: the positive AIG literal 0 is FALSE.
+            self._sink([-self._const_var])
+        return self._const_var
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def literal(self, aig_lit: int) -> int:
+        """Encode (if needed) and return the DIMACS literal for an AIG literal."""
+        var = lit_var(aig_lit)
+        if var == 0:
+            cnf_var = self._const_false_var()
+        else:
+            cnf_var = self._encode_var(var)
+        return -cnf_var if lit_sign(aig_lit) else cnf_var
+
+    def encode_roots(self, roots: Iterable[int]) -> List[int]:
+        """Encode the cones of several AIG literals; return DIMACS literals."""
+        return [self.literal(root) for root in roots]
+
+    def _encode_var(self, aig_var: int) -> int:
+        cached = self._var_map.get(aig_var)
+        if cached is not None:
+            return cached
+        kind = self.aig.node_kind(aig_var)
+        if kind != "and":
+            if not self._allocate_leaves:
+                raise KeyError(
+                    f"leaf variable {aig_var} ({kind}) has no CNF variable assigned")
+            cnf_var = self._new_var()
+            self._var_map[aig_var] = cnf_var
+            return cnf_var
+
+        # Iterative topological encoding of the AND cone rooted at aig_var.
+        stack = [aig_var]
+        while stack:
+            var = stack[-1]
+            if var in self._var_map:
+                stack.pop()
+                continue
+            gate = self.aig.and_gate(var)
+            fanins = [lit_var(gate.left), lit_var(gate.right)]
+            pending = []
+            for u in fanins:
+                if u == 0 or u in self._var_map:
+                    continue
+                if self.aig.node_kind(u) != "and":
+                    if not self._allocate_leaves:
+                        raise KeyError(
+                            f"leaf variable {u} ({self.aig.node_kind(u)}) has no CNF "
+                            "variable assigned")
+                    self._var_map[u] = self._new_var()
+                else:
+                    pending.append(u)
+            if pending:
+                stack.extend(pending)
+                continue
+            out = self._new_var()
+            self._var_map[var] = out
+            left = self._lit_shallow(gate.left)
+            right = self._lit_shallow(gate.right)
+            self._sink([-out, left])
+            self._sink([-out, right])
+            self._sink([out, -left, -right])
+            stack.pop()
+        return self._var_map[aig_var]
+
+    def _lit_shallow(self, aig_lit: int) -> int:
+        var = lit_var(aig_lit)
+        cnf_var = self._const_false_var() if var == 0 else self._var_map[var]
+        return -cnf_var if lit_sign(aig_lit) else cnf_var
+
+
+def encode_combinational(
+    aig: Aig,
+    roots: Sequence[int],
+) -> Tuple[Cnf, List[int], Dict[int, int]]:
+    """Encode the combinational cones of ``roots`` into a standalone CNF.
+
+    Returns ``(cnf, root_literals, var_map)`` where ``var_map`` maps AIG
+    variables to CNF variables.  Intended for one-shot combinational checks
+    (equivalence, containment) and for the test-suite.
+    """
+    cnf = Cnf()
+    encoder = TseitinEncoder(aig, cnf.new_var, lambda cl: cnf.add_clause(cl),
+                             allocate_leaves=True)
+    root_lits = encoder.encode_roots(roots)
+    return cnf, root_lits, encoder.var_map()

@@ -1,0 +1,29 @@
+"""The paper's contribution: interpolation-sequence-based UMC engines."""
+
+from .base import OutOfBudget, UmcEngine, implies, initial_states_predicate
+from .cba_engine import ItpSeqCbaEngine
+from .itp_engine import ItpEngine
+from .itpseq_engine import ItpSeqEngine
+from .options import EngineOptions
+from .portfolio import ENGINES, Portfolio, run_engine
+from .result import EngineStats, Verdict, VerificationResult
+from .sitpseq_engine import SerialItpSeqEngine, compute_serial_sequence
+
+__all__ = [
+    "OutOfBudget",
+    "UmcEngine",
+    "implies",
+    "initial_states_predicate",
+    "ItpSeqCbaEngine",
+    "ItpEngine",
+    "ItpSeqEngine",
+    "EngineOptions",
+    "ENGINES",
+    "Portfolio",
+    "run_engine",
+    "EngineStats",
+    "Verdict",
+    "VerificationResult",
+    "SerialItpSeqEngine",
+    "compute_serial_sequence",
+]

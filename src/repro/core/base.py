@@ -1,0 +1,206 @@
+"""Shared machinery for the interpolation-based UMC engines.
+
+All four engines (standard interpolation, parallel/serial interpolation
+sequences, sequences + CBA) share:
+
+* an engine-private copy of the model's AIG into which interpolants are
+  materialised (so a run never mutates the caller's circuit);
+* the initial-state predicate S₀ as an AIG cone over latch variables;
+* SAT-based implication / containment checks between AIG predicates;
+* resource accounting (wall-clock budget → *overflow*, per-call conflict
+  budgets) and the uniform :class:`VerificationResult` packaging.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..aig.aig import Aig, lit_negate
+from ..aig.model import Model
+from ..aig.ops import cone_size
+from ..bmc.cex import Trace
+from ..cnf.tseitin import TseitinEncoder
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SatResult
+from .options import EngineOptions
+from .result import EngineStats, Verdict, VerificationResult
+
+__all__ = ["OutOfBudget", "initial_states_predicate", "implies", "UmcEngine"]
+
+
+class OutOfBudget(RuntimeError):
+    """Raised internally when the run exceeds its wall-clock or SAT budget."""
+
+    def __init__(self, bound: Optional[int] = None) -> None:
+        super().__init__("verification budget exhausted")
+        self.bound = bound
+
+
+def initial_states_predicate(model: Model) -> int:
+    """Build S₀ as an AIG literal over the model's latch variables.
+
+    Uninitialised latches contribute no constraint (they are free at time 0).
+    """
+    aig = model.aig
+    terms = []
+    for latch in model.latches:
+        if latch.init is None:
+            continue
+        lit = latch.lit()
+        terms.append(lit if latch.init else lit_negate(lit))
+    return aig.op_and(*terms)
+
+
+def implies(aig: Aig, antecedent: int, consequent: int,
+            budget: Optional[Budget] = None) -> bool:
+    """Decide ``antecedent ⇒ consequent`` for two predicates in the same AIG.
+
+    Both predicates are interpreted over the same (free) leaf valuation, so
+    the check encodes the cones with a shared Tseitin instance and asks
+    whether ``antecedent ∧ ¬consequent`` is satisfiable.
+    """
+    solver = CdclSolver()
+    encoder = TseitinEncoder(aig, solver.new_var,
+                             lambda clause: solver.add_clause(clause),
+                             allocate_leaves=True)
+    a_lit = encoder.literal(antecedent)
+    c_lit = encoder.literal(consequent)
+    solver.add_clause([a_lit])
+    solver.add_clause([-c_lit])
+    result = solver.solve(budget=budget)
+    if result is SatResult.UNKNOWN:
+        raise OutOfBudget()
+    return result is SatResult.UNSAT
+
+
+class UmcEngine:
+    """Base class: resource accounting and result packaging."""
+
+    name = "umc"
+
+    def __init__(self, model: Model, options: Optional[EngineOptions] = None) -> None:
+        # Engines add interpolant cones to the AIG, so they work on a private
+        # copy and never mutate the caller's model.
+        self._source_model = model
+        self.aig = model.aig.copy()
+        self.model = Model(self.aig, model.property_index, name=model.name)
+        self.options = options or EngineOptions()
+        self.stats = EngineStats()
+        self._start_time = 0.0
+        self._current_bound: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Resource handling
+    # ------------------------------------------------------------------ #
+    def _elapsed(self) -> float:
+        return time.monotonic() - self._start_time
+
+    def _remaining_time(self) -> Optional[float]:
+        if self.options.time_limit is None:
+            return None
+        return self.options.time_limit - self._elapsed()
+
+    def _check_budget(self) -> None:
+        remaining = self._remaining_time()
+        if remaining is not None and remaining <= 0:
+            raise OutOfBudget(self._current_bound)
+
+    def _sat_budget(self) -> Budget:
+        return Budget(max_conflicts=self.options.conflict_limit,
+                      max_time=self._remaining_time())
+
+    def _solve(self, solver: CdclSolver, assumptions: Iterable[int] = ()) -> SatResult:
+        """Run a SAT query under the remaining budget, updating statistics."""
+        self._check_budget()
+        started = time.monotonic()
+        result = solver.solve(assumptions=list(assumptions), budget=self._sat_budget())
+        self.stats.sat_calls += 1
+        self.stats.sat_time += time.monotonic() - started
+        if result is SatResult.UNKNOWN:
+            raise OutOfBudget(self._current_bound)
+        return result
+
+    def _implies(self, antecedent: int, consequent: int, aig: Optional[Aig] = None) -> bool:
+        """Containment check counted in the engine statistics."""
+        self._check_budget()
+        self.stats.containment_checks += 1
+        started = time.monotonic()
+        try:
+            return implies(aig or self.aig, antecedent, consequent,
+                           budget=self._sat_budget())
+        except OutOfBudget:
+            raise OutOfBudget(self._current_bound)
+        finally:
+            self.stats.sat_time += time.monotonic() - started
+            self.stats.sat_calls += 1
+
+    def _note_interpolant(self, aig: Aig, itp_lit: int) -> None:
+        self.stats.itp_extractions += 1
+        self.stats.itp_nodes += cone_size(aig, itp_lit)
+
+    # ------------------------------------------------------------------ #
+    # Depth-0 check
+    # ------------------------------------------------------------------ #
+    def _depth_zero_trace(self, model: Optional[Model] = None) -> Optional[Trace]:
+        """Return a depth-0 counterexample if an initial state violates p.
+
+        The paper's algorithms start from k = 1, so every engine performs
+        this check once up front.
+        """
+        from ..bmc.unroll import Unroller  # local import avoids a cycle
+
+        target = model or self.model
+        solver = CdclSolver()
+        unroller = Unroller(target, solver)
+        unroller.assert_initial_state(partition=1)
+        unroller.assert_bad(0, partition=1)
+        if target.constraints:
+            unroller.assert_constraints_at(0, partition=1)
+        if self._solve(solver) is SatResult.SAT:
+            return unroller.extract_trace(0)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Result packaging
+    # ------------------------------------------------------------------ #
+    def run(self) -> VerificationResult:
+        """Execute the engine and return a :class:`VerificationResult`."""
+        self._start_time = time.monotonic()
+        self.stats = EngineStats()
+        try:
+            result = self._run()
+        except OutOfBudget as exc:
+            result = VerificationResult(
+                verdict=Verdict.OVERFLOW, engine=self.name,
+                model_name=self.model.name, k_fp=exc.bound or self._current_bound,
+                j_fp=None, message="resource budget exhausted")
+        result.time_seconds = self._elapsed()
+        result.stats = self.stats
+        return result
+
+    def _run(self) -> VerificationResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Common result constructors
+    # ------------------------------------------------------------------ #
+    def _pass(self, k_fp: int, j_fp: int) -> VerificationResult:
+        return VerificationResult(verdict=Verdict.PASS, engine=self.name,
+                                  model_name=self.model.name, k_fp=k_fp, j_fp=j_fp)
+
+    def _fail(self, k_fp: int, trace: Optional[Trace]) -> VerificationResult:
+        if trace is not None and self.options.validate_traces:
+            if not trace.check(self._source_model):
+                raise RuntimeError(
+                    f"{self.name} produced a counterexample that does not replay "
+                    f"on the concrete model {self.model.name}")
+        # The paper reports j_fp = 0 for failures.
+        return VerificationResult(verdict=Verdict.FAIL, engine=self.name,
+                                  model_name=self.model.name, k_fp=k_fp, j_fp=0,
+                                  trace=trace)
+
+    def _unknown(self, k_reached: int, message: str) -> VerificationResult:
+        return VerificationResult(verdict=Verdict.UNKNOWN, engine=self.name,
+                                  model_name=self.model.name, k_fp=k_reached,
+                                  j_fp=None, message=message)

@@ -1,0 +1,129 @@
+"""Interpolation sequences tightly integrated with CBA (Section V, Fig. 5).
+
+The engine interleaves, at every bound ``k``:
+
+1. an abstraction-refinement loop on a localization-abstracted model T_A —
+   abstract counterexamples are concretised (EXTEND) and either reported as
+   genuine failures or used to re-introduce latches (REFINE);
+2. once the abstract depth-``k`` check is unsatisfiable, a *serial*
+   interpolation sequence (Fig. 4) computed on the **abstract** model from
+   that refutation;
+3. the usual matrix-column / fixed-point bookkeeping of Fig. 2, performed on
+   the concrete state space (the abstract interpolants are predicates over
+   visible latches only, so they translate to the concrete AIG by renaming
+   leaves).
+
+Per the paper, refinements are *not* followed by re-proving smaller bounds:
+the only purpose of the refinement is to make the depth-``k`` instance
+unsatisfiable, which tends to produce smaller refutations and therefore
+more abstract (larger) interpolants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..abstraction.cba import choose_refinement, extend_counterexample
+from ..abstraction.localization import LocalizationAbstraction, property_support_latches
+from ..aig.aig import FALSE, TRUE, lit_from_var
+from ..aig.ops import LiteralMapper
+from ..bmc.checks import build_check
+from ..sat.types import SatResult
+from .base import OutOfBudget, initial_states_predicate
+from .itpseq_engine import ItpSeqEngine
+from .result import VerificationResult
+from .sitpseq_engine import compute_serial_sequence
+
+__all__ = ["ItpSeqCbaEngine"]
+
+
+class ItpSeqCbaEngine(ItpSeqEngine):
+    """Serial interpolation sequences + counterexample-based abstraction (Fig. 5)."""
+
+    name = "itpseqcba"
+
+    def _run(self) -> VerificationResult:
+        trace = self._depth_zero_trace()
+        if trace is not None:
+            return self._fail(0, trace)
+
+        if self.options.cba_initial_visible == "property":
+            visible = property_support_latches(self.model)
+        else:
+            visible = set()
+        abstraction = LocalizationAbstraction(self.model, visible)
+        self.stats.abstract_latches = abstraction.num_visible
+
+        init_predicate = initial_states_predicate(self.model)
+        columns: Dict[int, int] = {}
+
+        for k in range(1, self.options.max_bound + 1):
+            self._current_bound = k
+            self._check_budget()
+
+            refined = self._refinement_loop(abstraction, k)
+            if isinstance(refined, VerificationResult):
+                return refined
+            abstraction, proof, unroller = refined
+            self.stats.abstract_latches = abstraction.num_visible
+
+            abstract_model = abstraction.abstract_model
+            elements_abs = compute_serial_sequence(self, abstract_model, k,
+                                                   proof, unroller)
+            elements = self._translate_elements(abstraction, elements_abs)
+
+            outcome = self._update_columns(columns, elements, k, init_predicate)
+            if outcome is not None:
+                return outcome
+        return self._unknown(self.options.max_bound,
+                             "bound limit reached without convergence")
+
+    # ------------------------------------------------------------------ #
+    # Abstraction-refinement loop for one bound
+    # ------------------------------------------------------------------ #
+    def _refinement_loop(self, abstraction: LocalizationAbstraction, k: int):
+        """Iterate abstract check / EXTEND / REFINE until the bound-k abstract
+        instance is unsatisfiable (returning the refutation) or a concrete
+        counterexample is found (returning a FAIL result)."""
+        while True:
+            self._check_budget()
+            abstract_model = abstraction.abstract_model
+            unroller = build_check(self.options.bmc_check, abstract_model, k,
+                                   proof_logging=True)
+            result = self._solve(unroller.solver)
+            if result is SatResult.UNSAT:
+                return abstraction, unroller.solver.proof(), unroller
+
+            abstract_trace = unroller.extract_trace(k)
+            self.stats.sat_calls += 1
+            extension = extend_counterexample(self.model, abstraction,
+                                              abstract_trace, k,
+                                              budget=self._sat_budget())
+            if extension.is_real:
+                return self._fail(k, extension.concrete_trace)
+            if abstraction.is_total():
+                # Cannot happen: with every latch visible the abstract model is
+                # the concrete model, whose counterexamples always extend.
+                raise RuntimeError("spurious counterexample on a total abstraction")
+            latches = choose_refinement(abstraction, extension,
+                                        self.options.cba_refine_batch)
+            abstraction = abstraction.refine(latches)
+            self.stats.refinements += 1
+
+    # ------------------------------------------------------------------ #
+    # Abstract-to-concrete translation of sequence elements
+    # ------------------------------------------------------------------ #
+    def _translate_elements(self, abstraction: LocalizationAbstraction,
+                            elements_abs: List[int]) -> List[int]:
+        """Rename abstract-latch leaves to concrete latches in every element."""
+        abstract_aig = abstraction.abstract_model.aig
+        leaf_map = {abs_var: lit_from_var(conc_var)
+                    for conc_var, abs_var in abstraction.latch_map.items()}
+        mapper = LiteralMapper(abstract_aig, self.aig, leaf_map)
+        translated: List[int] = []
+        for index, element in enumerate(elements_abs):
+            if element in (TRUE, FALSE):
+                translated.append(element)
+                continue
+            translated.append(mapper.copy_lit(element))
+        return translated

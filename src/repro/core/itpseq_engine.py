@@ -1,0 +1,88 @@
+"""Unbounded model checking with interpolation sequences (Fig. 2).
+
+This is the ITPSEQVERIF procedure: at every bound ``k`` one exact-k (or
+assume-k, per Section III) BMC check is made; a satisfiable answer is a real
+counterexample, an unsatisfiable one yields — from its single refutation —
+the whole interpolation sequence I^k_0..k+1 (Eq. (2)).
+
+The sequence elements are accumulated into the matrix columns
+
+    ℐⱼ = ⋀_{i ≥ j} Iⁱⱼ
+
+(the column-based conjunction of Section II-C), each column being an
+over-approximation of the states reachable in ``j`` steps that excludes
+states reaching a failure within ``k - j`` steps.  The columns drive the
+same fixed-point test used by standard interpolation: ℐⱼ ⇒ Rⱼ₋₁ proves the
+property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..aig.aig import TRUE
+from ..bmc.checks import build_check
+from ..itp.sequence import extract_sequence
+from ..sat.types import SatResult
+from .base import UmcEngine, initial_states_predicate
+from .result import VerificationResult
+
+__all__ = ["ItpSeqEngine"]
+
+
+class ItpSeqEngine(UmcEngine):
+    """Parallel interpolation sequences (procedure ITPSEQVERIF of Fig. 2)."""
+
+    name = "itpseq"
+
+    def _run(self) -> VerificationResult:
+        trace = self._depth_zero_trace()
+        if trace is not None:
+            return self._fail(0, trace)
+
+        init_predicate = initial_states_predicate(self.model)
+        columns: Dict[int, int] = {}
+
+        for k in range(1, self.options.max_bound + 1):
+            self._current_bound = k
+            self._check_budget()
+
+            unroller = build_check(self.options.bmc_check, self.model, k,
+                                   proof_logging=True)
+            if self._solve(unroller.solver) is SatResult.SAT:
+                return self._fail(k, unroller.extract_trace(k))
+
+            proof = unroller.solver.proof()
+            cut_maps = {j: unroller.cut_var_map(j) for j in range(1, k + 1)}
+            sequence = extract_sequence(proof, k + 1, cut_maps, self.aig,
+                                        system=self.options.itp_system)
+            for element in sequence.interior():
+                self._note_interpolant(self.aig, element)
+
+            outcome = self._update_columns(columns, sequence.elements, k,
+                                           init_predicate)
+            if outcome is not None:
+                return outcome
+        return self._unknown(self.options.max_bound,
+                             "bound limit reached without convergence")
+
+    # ------------------------------------------------------------------ #
+    # Matrix column update and fixed-point detection (shared with CBA)
+    # ------------------------------------------------------------------ #
+    def _update_columns(self, columns: Dict[int, int], elements, k: int,
+                        init_predicate: int) -> Optional[VerificationResult]:
+        """Run the j-loop of Fig. 2 for the freshly extracted sequence.
+
+        ``columns`` maps j -> ℐⱼ (AIG literal, over this engine's AIG) and is
+        updated in place; returns a PASS result when a fixed point is found.
+        """
+        reached = init_predicate  # R_{j-1}
+        for j in range(1, k):
+            columns[j] = self.aig.add_and(columns.get(j, TRUE), elements[j])
+            if self._implies(columns[j], reached):
+                return self._pass(k, j)
+            reached = self.aig.op_or(reached, columns[j])
+        columns[k] = elements[k]
+        if self._implies(columns[k], reached):
+            return self._pass(k, k)
+        return None

@@ -1,0 +1,78 @@
+"""Configuration options for the UMC engines.
+
+Defaults follow the paper's experimental setup where a setting is
+mentioned (``alpha_s = 0.5``, assume-k checks for interpolation sequences)
+and otherwise pick values that behave sensibly on the down-scaled synthetic
+suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..bmc.checks import BmcCheckKind
+
+__all__ = ["EngineOptions"]
+
+
+@dataclass
+class EngineOptions:
+    """Knobs shared by all engines (engine-specific ones are ignored by others).
+
+    Attributes
+    ----------
+    max_bound:
+        Largest BMC bound attempted before giving up with ``UNKNOWN``.
+    time_limit:
+        Wall-clock budget in seconds for one verification run (the paper
+        used 1800 s on its testbed); ``None`` disables the limit.  Exceeding
+        it yields an ``OVERFLOW`` verdict, mirroring the paper's *ovf*.
+    conflict_limit:
+        Per-SAT-call conflict budget; ``None`` disables it.
+    bmc_check:
+        Which BMC formulation the sequence engines use for their main check
+        (``ASSUME`` by default, per Section III; ``EXACT`` reproduces the
+        other axis of Fig. 7).  The standard-interpolation engine always
+        uses bound-k checks as required for its correctness.
+    itp_system:
+        Interpolation system: ``"mcmillan"`` or ``"pudlak"``.
+    alpha_s:
+        Serialisation ratio for serial interpolation sequences (Fig. 4).
+    validate_traces:
+        Replay counterexamples on the concrete model before reporting FAIL.
+    cba_initial_visible:
+        Initial abstraction for the CBA engine: ``"property"`` keeps the
+        latches in the combinational support of the property, ``"none"``
+        abstracts every latch.
+    cba_refine_batch:
+        Maximum number of latches re-introduced per refinement step.
+    """
+
+    max_bound: int = 30
+    time_limit: Optional[float] = None
+    conflict_limit: Optional[int] = None
+    bmc_check: BmcCheckKind = BmcCheckKind.ASSUME
+    itp_system: str = "mcmillan"
+    alpha_s: float = 0.5
+    validate_traces: bool = True
+    cba_initial_visible: str = "property"
+    cba_refine_batch: int = 4
+
+    def with_changes(self, **kwargs) -> "EngineOptions":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha_s <= 1.0:
+            raise ValueError(f"alpha_s must be within [0, 1], got {self.alpha_s}")
+        if self.max_bound < 1:
+            raise ValueError("max_bound must be at least 1")
+        if self.itp_system not in ("mcmillan", "pudlak"):
+            raise ValueError(f"unknown interpolation system {self.itp_system!r}")
+        if self.cba_initial_visible not in ("property", "none"):
+            raise ValueError(
+                f"cba_initial_visible must be 'property' or 'none', "
+                f"got {self.cba_initial_visible!r}")
+        if self.cba_refine_batch < 1:
+            raise ValueError("cba_refine_batch must be at least 1")

@@ -1,0 +1,80 @@
+"""A tiny sequential portfolio over the four engines.
+
+The paper positions ITPSEQ (and its serial / CBA variants) as "an
+additional engine within a potential portfolio of available MC techniques"
+(Section IV).  :class:`Portfolio` realises that: it runs a configurable
+list of engines on the same model, stopping at the first definitive answer
+or collecting every result for comparison — the mode the experiment harness
+uses to build Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from ..aig.model import Model
+from .base import UmcEngine
+from .cba_engine import ItpSeqCbaEngine
+from .itp_engine import ItpEngine
+from .itpseq_engine import ItpSeqEngine
+from .options import EngineOptions
+from .result import VerificationResult
+from .sitpseq_engine import SerialItpSeqEngine
+
+__all__ = ["ENGINES", "Portfolio", "run_engine"]
+
+#: Registry of engine name -> class, in the order the paper's Table I uses.
+ENGINES: Dict[str, Type[UmcEngine]] = {
+    "itp": ItpEngine,
+    "itpseq": ItpSeqEngine,
+    "sitpseq": SerialItpSeqEngine,
+    "itpseqcba": ItpSeqCbaEngine,
+}
+
+
+def run_engine(name: str, model: Model,
+               options: Optional[EngineOptions] = None) -> VerificationResult:
+    """Instantiate and run one engine by its registry name."""
+    try:
+        engine_cls = ENGINES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown engine {name!r}; known: {sorted(ENGINES)}") from exc
+    return engine_cls(model, options).run()
+
+
+class Portfolio:
+    """Run several engines on one model."""
+
+    def __init__(self, engine_names: Optional[Sequence[str]] = None,
+                 options: Optional[EngineOptions] = None) -> None:
+        self.engine_names = list(engine_names or ENGINES.keys())
+        unknown = [n for n in self.engine_names if n not in ENGINES]
+        if unknown:
+            raise KeyError(f"unknown engines: {unknown}")
+        self.options = options or EngineOptions()
+
+    def run_first_solved(self, model: Model) -> VerificationResult:
+        """Run engines in order; return the first PASS/FAIL answer.
+
+        If nothing solves the instance, the last result is returned.
+        """
+        last: Optional[VerificationResult] = None
+        for name in self.engine_names:
+            result = run_engine(name, model, self.options)
+            last = result
+            if result.solved:
+                return result
+        assert last is not None
+        return last
+
+    def run_all(self, model: Model) -> Dict[str, VerificationResult]:
+        """Run every engine and return all results keyed by engine name."""
+        results: Dict[str, VerificationResult] = {}
+        for name in self.engine_names:
+            results[name] = run_engine(name, model, self.options)
+        verdicts = {r.verdict for r in results.values() if r.solved}
+        if len(verdicts) > 1:
+            raise RuntimeError(
+                f"engines disagree on {model.name}: "
+                f"{ {n: r.verdict.value for n, r in results.items()} }")
+        return results

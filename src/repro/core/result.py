@@ -1,0 +1,105 @@
+"""Verification results reported by the UMC engines.
+
+The paper reports, per instance and per engine, the outcome, the CPU time
+and the depth measures (k_fp, j_fp) defined in Section IV-B:
+
+* ``k_fp`` — the BMC bound of the outer iteration at which the engine
+  stopped (the fixed-point bound for proofs, the failure depth for
+  counterexamples, the last attempted bound for overflows);
+* ``j_fp`` — the depth of the over-approximate forward traversal at the
+  fixed-point (the index of the cut); reported as 0 for failures, matching
+  the paper's convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..bmc.cex import Trace
+
+__all__ = ["Verdict", "VerificationResult", "EngineStats"]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a verification run."""
+
+    PASS = "pass"
+    FAIL = "fail"
+    OVERFLOW = "ovf"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters accumulated during a run."""
+
+    sat_calls: int = 0
+    sat_time: float = 0.0
+    itp_extractions: int = 0
+    itp_nodes: int = 0
+    refinements: int = 0
+    abstract_latches: int = 0
+    containment_checks: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sat_calls": self.sat_calls,
+            "sat_time": round(self.sat_time, 4),
+            "itp_extractions": self.itp_extractions,
+            "itp_nodes": self.itp_nodes,
+            "refinements": self.refinements,
+            "abstract_latches": self.abstract_latches,
+            "containment_checks": self.containment_checks,
+        }
+
+
+@dataclass
+class VerificationResult:
+    """The answer of one engine on one model."""
+
+    verdict: Verdict
+    engine: str
+    model_name: str
+    k_fp: Optional[int] = None
+    j_fp: Optional[int] = None
+    time_seconds: float = 0.0
+    trace: Optional[Trace] = None
+    stats: EngineStats = field(default_factory=EngineStats)
+    message: str = ""
+
+    @property
+    def is_pass(self) -> bool:
+        return self.verdict is Verdict.PASS
+
+    @property
+    def is_fail(self) -> bool:
+        return self.verdict is Verdict.FAIL
+
+    @property
+    def is_overflow(self) -> bool:
+        return self.verdict is Verdict.OVERFLOW
+
+    @property
+    def solved(self) -> bool:
+        """Whether the run produced a definitive PASS or FAIL answer."""
+        return self.verdict in (Verdict.PASS, Verdict.FAIL)
+
+    def depth_pair(self) -> str:
+        """Render (k_fp, j_fp) the way Table I does.
+
+        Overflows show the last attempted bound in round brackets and a dash
+        for the traversal depth.
+        """
+        if self.is_overflow:
+            k = f"({self.k_fp})" if self.k_fp is not None else "(-)"
+            return f"{k} -"
+        k = str(self.k_fp) if self.k_fp is not None else "-"
+        j = str(self.j_fp) if self.j_fp is not None else "-"
+        return f"{k} {j}"
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"{self.engine}: {self.verdict.value} on {self.model_name} "
+                f"(k_fp={self.k_fp}, j_fp={self.j_fp}, "
+                f"t={self.time_seconds:.2f}s)")

@@ -1,0 +1,31 @@
+"""Experiment harness regenerating the paper's Table I, Fig. 6 and Fig. 7."""
+
+from .fig6 import fig6_series, fig6_summary, render_fig6, run_fig6
+from .fig7 import Fig7Point, render_fig7, run_fig7
+from .records import EngineRecord, InstanceRecord
+from .render import ascii_curves, ascii_scatter, format_csv, format_table
+from .runner import ExperimentRunner, HarnessConfig
+from .table1 import TABLE1_ENGINES, render_table1, run_table1, table1_headers, table1_rows
+
+__all__ = [
+    "fig6_series",
+    "fig6_summary",
+    "render_fig6",
+    "run_fig6",
+    "Fig7Point",
+    "render_fig7",
+    "run_fig7",
+    "EngineRecord",
+    "InstanceRecord",
+    "ascii_curves",
+    "ascii_scatter",
+    "format_csv",
+    "format_table",
+    "ExperimentRunner",
+    "HarnessConfig",
+    "TABLE1_ENGINES",
+    "render_table1",
+    "run_table1",
+    "table1_headers",
+    "table1_rows",
+]

@@ -1,0 +1,95 @@
+"""Fig. 6: sorted per-engine runtime curves over the whole suite.
+
+The paper plots, for each of the four engines, the CPU time of every
+instance sorted in ascending order (independently per engine, so the curves
+are monotonic).  Instances an engine fails to solve within the budget are
+plotted at the time limit, which is what produces the flat plateau at the
+top of the figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuits.suite import SuiteInstance, full_suite
+from .records import InstanceRecord
+from .render import ascii_curves, format_csv, format_table
+from .runner import ExperimentRunner, HarnessConfig
+from .table1 import TABLE1_ENGINES
+
+__all__ = ["fig6_series", "fig6_summary", "render_fig6", "run_fig6"]
+
+
+def fig6_series(records: Iterable[InstanceRecord],
+                engines: Sequence[str] = TABLE1_ENGINES,
+                time_limit: Optional[float] = None) -> Dict[str, List[float]]:
+    """Per-engine sorted runtimes (unsolved instances count at the limit)."""
+    records = list(records)
+    series: Dict[str, List[float]] = {}
+    for engine in engines:
+        times: List[float] = []
+        for record in records:
+            engine_record = record.engine_record(engine)
+            if engine_record is None:
+                continue
+            if engine_record.solved:
+                times.append(engine_record.time_seconds)
+            else:
+                times.append(time_limit if time_limit is not None
+                             else engine_record.time_seconds)
+        series[engine] = sorted(times)
+    return series
+
+
+def fig6_summary(records: Iterable[InstanceRecord],
+                 engines: Sequence[str] = TABLE1_ENGINES) -> List[List[object]]:
+    """Solved counts and aggregate times per engine (the figure's take-away)."""
+    records = list(records)
+    rows: List[List[object]] = []
+    for engine in engines:
+        engine_records = [r.engine_record(engine) for r in records
+                          if r.engine_record(engine) is not None]
+        solved = [r for r in engine_records if r.solved]
+        total_time = sum(r.time_seconds for r in engine_records)
+        solved_time = sum(r.time_seconds for r in solved)
+        rows.append([engine, len(engine_records), len(solved),
+                     round(solved_time, 3), round(total_time, 3)])
+    return rows
+
+
+def render_fig6(records: Iterable[InstanceRecord],
+                engines: Sequence[str] = TABLE1_ENGINES,
+                time_limit: Optional[float] = None,
+                as_csv: bool = False) -> str:
+    """Render the sorted-runtime curves plus the per-engine summary."""
+    records = list(records)
+    series = fig6_series(records, engines, time_limit)
+    longest = max((len(v) for v in series.values()), default=0)
+    headers = ["rank"] + list(engines)
+    rows = []
+    for rank in range(longest):
+        row: List[object] = [rank + 1]
+        for engine in engines:
+            values = series[engine]
+            row.append(round(values[rank], 3) if rank < len(values) else None)
+        rows.append(row)
+    if as_csv:
+        return format_csv(headers, rows)
+    parts = [
+        "Fig. 6 — run time per instance, sorted independently per engine",
+        ascii_curves({k: v for k, v in series.items()}),
+        format_table(headers, rows, title="sorted runtimes [s]"),
+        format_table(["engine", "instances", "solved", "time(solved)", "time(total)"],
+                     fig6_summary(records, engines), title="summary"),
+    ]
+    return "\n\n".join(parts)
+
+
+def run_fig6(instances: Optional[Iterable[SuiteInstance]] = None,
+             config: Optional[HarnessConfig] = None,
+             progress: Optional[callable] = None) -> List[InstanceRecord]:
+    """Run the Fig. 6 experiment (same batch as Table I, BDDs optional)."""
+    config = config or HarnessConfig(engines=TABLE1_ENGINES, run_bdds=False)
+    runner = ExperimentRunner(config)
+    return runner.run_suite(instances if instances is not None else full_suite(),
+                            progress=progress)

@@ -1,0 +1,101 @@
+"""Result records produced by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bdd.checker import BddVerdict
+from ..circuits.suite import SuiteInstance
+from ..core.result import VerificationResult
+
+__all__ = ["EngineRecord", "InstanceRecord"]
+
+
+@dataclass
+class EngineRecord:
+    """One engine's outcome on one instance (one Table I cell group)."""
+
+    engine: str
+    verdict: str
+    time_seconds: float
+    k_fp: Optional[int]
+    j_fp: Optional[int]
+    sat_calls: int = 0
+    itp_nodes: int = 0
+    refinements: int = 0
+
+    @staticmethod
+    def from_result(result: VerificationResult) -> "EngineRecord":
+        return EngineRecord(
+            engine=result.engine,
+            verdict=result.verdict.value,
+            time_seconds=result.time_seconds,
+            k_fp=result.k_fp,
+            j_fp=result.j_fp,
+            sat_calls=result.stats.sat_calls,
+            itp_nodes=result.stats.itp_nodes,
+            refinements=result.stats.refinements,
+        )
+
+    @property
+    def solved(self) -> bool:
+        return self.verdict in ("pass", "fail")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "verdict": self.verdict,
+            "time": round(self.time_seconds, 3),
+            "k_fp": self.k_fp,
+            "j_fp": self.j_fp,
+            "sat_calls": self.sat_calls,
+            "itp_nodes": self.itp_nodes,
+            "refinements": self.refinements,
+        }
+
+
+@dataclass
+class InstanceRecord:
+    """All results for one benchmark instance (one Table I row)."""
+
+    name: str
+    category: str
+    expected: str
+    num_inputs: int
+    num_latches: int
+    bdd: Optional[BddVerdict] = None
+    engines: Dict[str, EngineRecord] = field(default_factory=dict)
+
+    def engine_record(self, engine: str) -> Optional[EngineRecord]:
+        return self.engines.get(engine)
+
+    def verdict_consistent(self) -> bool:
+        """All solved answers (engines and BDD) must agree with the expected one."""
+        answers = {rec.verdict for rec in self.engines.values() if rec.solved}
+        if self.bdd is not None and self.bdd.status in ("pass", "fail"):
+            answers.add(self.bdd.status)
+        return answers <= {self.expected}
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "name": self.name,
+            "category": self.category,
+            "expected": self.expected,
+            "PI": self.num_inputs,
+            "FF": self.num_latches,
+        }
+        if self.bdd is not None:
+            row.update({
+                "bdd_status": self.bdd.status,
+                "d_F": self.bdd.d_f,
+                "time_F": round(self.bdd.time_forward, 3),
+                "d_B": self.bdd.d_b,
+                "time_B": round(self.bdd.time_backward, 3),
+            })
+        for engine, record in self.engines.items():
+            row[f"{engine}_time"] = round(record.time_seconds, 3)
+            row[f"{engine}_verdict"] = record.verdict
+            row[f"{engine}_k_fp"] = record.k_fp
+            row[f"{engine}_j_fp"] = record.j_fp
+        return row

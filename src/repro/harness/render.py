@@ -1,0 +1,102 @@
+"""Plain-text rendering helpers for tables, curves and scatter plots.
+
+The paper's figures were produced with gnuplot; the reproduction renders
+the same data as aligned text tables, CSV blocks and coarse ASCII plots so
+every experiment's output can be archived directly in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_csv", "ascii_scatter", "ascii_curves"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned, pipe-separated text table."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(" | ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render comma-separated values (no quoting needed for our data)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_cell(value) for value in row))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_scatter(points: Sequence[Tuple[float, float]], width: int = 50,
+                  height: int = 20, x_label: str = "x", y_label: str = "y") -> str:
+    """A coarse ASCII scatter plot with the y=x diagonal marked.
+
+    Used for the Fig. 7 style exact-k vs assume-k comparison: points below
+    the diagonal mean the y-axis configuration is faster.
+    """
+    if not points:
+        return "(no points)"
+    max_value = max(max(x for x, _ in points), max(y for _, y in points), 1e-9)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for step in range(min(width, height)):
+        col = int(step * (width - 1) / max(1, min(width, height) - 1))
+        row = int(step * (height - 1) / max(1, min(width, height) - 1))
+        grid[height - 1 - row][col] = "."
+    for x, y in points:
+        col = min(width - 1, int(x / max_value * (width - 1)))
+        row = min(height - 1, int(y / max_value * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+    lines = [f"{y_label} (max {max_value:.2f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (max {max_value:.2f});  '.' marks y = x")
+    return "\n".join(lines)
+
+
+def ascii_curves(series: Dict[str, Sequence[float]], width: int = 60,
+                 height: int = 16, y_label: str = "time [s]") -> str:
+    """Overlay several monotonic curves (Fig. 6 style) as ASCII art.
+
+    Each series is plotted against its own index (instances solved), which
+    matches the paper's presentation where every engine's runtimes are
+    sorted independently.
+    """
+    if not series:
+        return "(no series)"
+    max_y = max((max(values) for values in series.values() if values), default=1.0)
+    max_x = max((len(values) for values in series.values()), default=1)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    markers = "ox+#*%@"
+    legend = []
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for i, value in enumerate(values):
+            col = min(width - 1, int(i / max(1, max_x - 1) * (width - 1)))
+            row = min(height - 1, int(value / max(max_y, 1e-9) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{y_label} (max {max_y:.2f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(" instances (sorted per engine)")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

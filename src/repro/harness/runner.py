@@ -1,0 +1,101 @@
+"""Experiment runner: engines × instances with per-run resource limits.
+
+This is the equivalent of the paper's batch infrastructure: every engine is
+run on every suite instance under a wall-clock budget (the paper used
+1800 s; the defaults here are scaled to the pure-Python substrate), and the
+BDD baseline adds the exact diameters when it completes within its own
+budget.  Answers are cross-checked against the instance's expected verdict,
+so a regression in any engine trips the harness rather than silently
+skewing a table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bdd.checker import check_with_bdds
+from ..circuits.suite import SuiteInstance, full_suite, quick_suite
+from ..core.options import EngineOptions
+from ..core.portfolio import ENGINES, run_engine
+from .records import EngineRecord, InstanceRecord
+
+__all__ = ["HarnessConfig", "ExperimentRunner"]
+
+
+@dataclass
+class HarnessConfig:
+    """Batch-run configuration."""
+
+    engines: Sequence[str] = ("itp", "itpseq", "sitpseq", "itpseqcba")
+    time_limit: float = 60.0            # per engine per instance, seconds
+    max_bound: int = 30
+    run_bdds: bool = True
+    bdd_node_limit: int = 200_000
+    bdd_time_limit: float = 30.0
+    check_expected: bool = True
+    engine_options: Optional[EngineOptions] = None
+
+    def options(self) -> EngineOptions:
+        if self.engine_options is not None:
+            return self.engine_options
+        return EngineOptions(max_bound=self.max_bound, time_limit=self.time_limit)
+
+
+class ExperimentRunner:
+    """Runs engines over suite instances and collects records."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+        self.config = config or HarnessConfig()
+        unknown = [e for e in self.config.engines if e not in ENGINES]
+        if unknown:
+            raise KeyError(f"unknown engines in config: {unknown}")
+
+    # ------------------------------------------------------------------ #
+    # Single instance
+    # ------------------------------------------------------------------ #
+    def run_instance(self, instance: SuiteInstance,
+                     engines: Optional[Sequence[str]] = None) -> InstanceRecord:
+        """Run the configured engines (and optionally BDDs) on one instance."""
+        model = instance.build()
+        record = InstanceRecord(
+            name=instance.name,
+            category=instance.category,
+            expected=instance.expected,
+            num_inputs=model.num_inputs,
+            num_latches=model.num_latches,
+        )
+        if self.config.run_bdds and not instance.skip_bdd:
+            record.bdd = check_with_bdds(model,
+                                         max_nodes=self.config.bdd_node_limit,
+                                         time_limit=self.config.bdd_time_limit)
+        options = self.config.options()
+        for engine_name in engines or self.config.engines:
+            result = run_engine(engine_name, instance.build(), options)
+            record.engines[engine_name] = EngineRecord.from_result(result)
+        if self.config.check_expected and not record.verdict_consistent():
+            raise RuntimeError(
+                f"verdict mismatch on {instance.name}: expected {instance.expected}, "
+                f"got { {e: r.verdict for e, r in record.engines.items()} } "
+                f"(bdd={record.bdd.status if record.bdd else 'n/a'})")
+        return record
+
+    # ------------------------------------------------------------------ #
+    # Batches
+    # ------------------------------------------------------------------ #
+    def run_suite(self, instances: Optional[Iterable[SuiteInstance]] = None,
+                  progress: Optional[callable] = None) -> List[InstanceRecord]:
+        """Run the whole suite; returns one record per instance."""
+        records: List[InstanceRecord] = []
+        for instance in instances if instances is not None else full_suite():
+            started = time.monotonic()
+            record = self.run_instance(instance)
+            records.append(record)
+            if progress is not None:
+                progress(instance.name, time.monotonic() - started, record)
+        return records
+
+    def run_quick(self, progress: Optional[callable] = None) -> List[InstanceRecord]:
+        """Run the fast subset of the suite."""
+        return self.run_suite(quick_suite(), progress=progress)

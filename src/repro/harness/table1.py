@@ -1,0 +1,78 @@
+"""Table I: per-instance comparison of BDDs, ITP, ITPSEQ, SITPSEQ, ITPSEQCBA.
+
+For every suite instance the table reports the circuit size (#PI, #FF), the
+BDD baseline (forward/backward diameters and times, or overflow), and for
+each engine the runtime together with the (k_fp, j_fp) depth pair of
+Section IV-B — exactly the columns of the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..circuits.suite import SuiteInstance, full_suite
+from .records import InstanceRecord
+from .render import format_csv, format_table
+from .runner import ExperimentRunner, HarnessConfig
+
+__all__ = ["TABLE1_ENGINES", "table1_headers", "table1_rows", "render_table1",
+           "run_table1"]
+
+TABLE1_ENGINES = ("itp", "itpseq", "sitpseq", "itpseqcba")
+
+
+def table1_headers(engines: Sequence[str] = TABLE1_ENGINES) -> List[str]:
+    headers = ["Name", "#PI", "#FF", "d_F", "Time_F", "d_B", "Time_B"]
+    for engine in engines:
+        headers += [f"{engine}.Time", f"{engine}.k_fp", f"{engine}.j_fp"]
+    return headers
+
+
+def _engine_cells(record: InstanceRecord, engine: str) -> List[object]:
+    engine_record = record.engine_record(engine)
+    if engine_record is None:
+        return ["-", "-", "-"]
+    if not engine_record.solved:
+        bound = f"({engine_record.k_fp})" if engine_record.k_fp is not None else "(-)"
+        return ["ovf", bound, "-"]
+    return [round(engine_record.time_seconds, 3), engine_record.k_fp,
+            engine_record.j_fp]
+
+
+def table1_rows(records: Iterable[InstanceRecord],
+                engines: Sequence[str] = TABLE1_ENGINES) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for record in records:
+        row: List[object] = [record.name, record.num_inputs, record.num_latches]
+        if record.bdd is None or record.bdd.status == "overflow":
+            row += [None, "ovf", None, "ovf"]
+        else:
+            row += [record.bdd.d_f, round(record.bdd.time_forward, 3),
+                    record.bdd.d_b, round(record.bdd.time_backward, 3)]
+        for engine in engines:
+            row += _engine_cells(record, engine)
+        rows.append(row)
+    return rows
+
+
+def render_table1(records: Iterable[InstanceRecord],
+                  engines: Sequence[str] = TABLE1_ENGINES,
+                  as_csv: bool = False) -> str:
+    """Render Table I as text (or CSV)."""
+    records = list(records)
+    headers = table1_headers(engines)
+    rows = table1_rows(records, engines)
+    if as_csv:
+        return format_csv(headers, rows)
+    return format_table(headers, rows,
+                        title="Table I — performance comparison "
+                              "(times in seconds; ovf = budget exceeded)")
+
+
+def run_table1(instances: Optional[Iterable[SuiteInstance]] = None,
+               config: Optional[HarnessConfig] = None,
+               progress: Optional[callable] = None) -> List[InstanceRecord]:
+    """Run the Table I experiment and return the per-instance records."""
+    runner = ExperimentRunner(config or HarnessConfig(engines=TABLE1_ENGINES))
+    return runner.run_suite(instances if instances is not None else full_suite(),
+                            progress=progress)

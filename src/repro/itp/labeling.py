@@ -1,0 +1,85 @@
+"""Variable locality classification for interpolation.
+
+Given a refutation proof whose *original* clauses carry partition labels
+(the Γ indices of the BMC unrolling), and a choice of which partitions form
+the ``A`` side of the Craig split, every CNF variable is classified as:
+
+* ``A_LOCAL`` — occurs only in A-side clauses;
+* ``B_LOCAL`` — occurs only in B-side clauses;
+* ``GLOBAL``  — occurs on both sides (these are the only variables allowed
+  in the interpolant's support).
+
+Classification is computed over *all* original clauses, not only over the
+clauses participating in the refutation core: this keeps the labelling
+consistent with the full (A, B) formulas, which is what Definition 1 in the
+paper constrains the interpolant's support against.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Optional, Set
+
+from ..sat.proof import ResolutionProof
+
+__all__ = ["VarClass", "VariableClassification", "classify_variables"]
+
+
+class VarClass(enum.Enum):
+    """Locality of a CNF variable with respect to an (A, B) split."""
+
+    A_LOCAL = "a"
+    B_LOCAL = "b"
+    GLOBAL = "ab"
+
+
+class VariableClassification:
+    """Locality lookup for one (A, B) split of a proof's original clauses."""
+
+    def __init__(self, classes: Dict[int, VarClass], a_partitions: Set[int]) -> None:
+        self._classes = classes
+        self.a_partitions = set(a_partitions)
+
+    def var_class(self, var: int) -> VarClass:
+        """Return the class of ``var``; unknown variables default to B-local.
+
+        Variables introduced only by derived clauses cannot exist in a valid
+        resolution proof, but defaulting keeps the lookup total.
+        """
+        return self._classes.get(var, VarClass.B_LOCAL)
+
+    def is_global(self, var: int) -> bool:
+        return self._classes.get(var) is VarClass.GLOBAL
+
+    def globals(self) -> Set[int]:
+        return {v for v, c in self._classes.items() if c is VarClass.GLOBAL}
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+
+def classify_variables(proof: ResolutionProof,
+                       a_partitions: Iterable[int]) -> VariableClassification:
+    """Classify every variable of the proof's original clauses.
+
+    ``a_partitions`` lists the partition labels forming the A side; every
+    other labelled original clause belongs to B.  Original clauses with no
+    partition label (``None``) are treated as B-side, which is the safe
+    default for auxiliary constraints added outside the Γ split.
+    """
+    a_set = set(a_partitions)
+    in_a: Set[int] = set()
+    in_b: Set[int] = set()
+    for node in proof.original_nodes():
+        side = in_a if (node.partition is not None and node.partition in a_set) else in_b
+        for var in node.clause.variables():
+            side.add(var)
+    classes: Dict[int, VarClass] = {}
+    for var in in_a | in_b:
+        if var in in_a and var in in_b:
+            classes[var] = VarClass.GLOBAL
+        elif var in in_a:
+            classes[var] = VarClass.A_LOCAL
+        else:
+            classes[var] = VarClass.B_LOCAL
+    return VariableClassification(classes, a_set)

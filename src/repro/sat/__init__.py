@@ -1,0 +1,22 @@
+"""SAT subsystem: proof-logging CDCL solver, resolution proofs, reference oracles."""
+
+from .checker import brute_force_sat, dpll_sat, verify_model
+from .proof import ProofError, ProofNode, ResolutionProof, check_proof
+from .solver import CdclSolver, SolverError
+from .types import Budget, BudgetExceeded, SatResult, SolverStats
+
+__all__ = [
+    "brute_force_sat",
+    "dpll_sat",
+    "verify_model",
+    "ProofError",
+    "ProofNode",
+    "ResolutionProof",
+    "check_proof",
+    "CdclSolver",
+    "SolverError",
+    "Budget",
+    "BudgetExceeded",
+    "SatResult",
+    "SolverStats",
+]

@@ -1,0 +1,205 @@
+"""Resolution proof recording and checking.
+
+The CDCL solver records, for every learned clause, the *regular input
+resolution chain* that derives it: a starting clause followed by a sequence
+of ``(pivot variable, antecedent clause)`` resolution steps.  When the
+solver reaches a conflict at decision level 0 it performs one final analysis
+that derives the empty clause, completing a refutation.
+
+The proof is the object interpolation works on: :mod:`repro.itp.craig`
+replays the chains bottom-up, attaching partial interpolants to every
+clause.  Because the proof keeps the *original* clauses with their partition
+labels (which time frame / which side of the (A, B) split they came from),
+a single proof supports extraction of a whole interpolation sequence — the
+key property the paper exploits (Section II-C, Eq. (2)).
+
+The module also contains an independent proof checker used by the
+test-suite: it re-performs every resolution step with the slow-but-obvious
+:meth:`Clause.resolve` and confirms the final clause is empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..cnf.cnf import Clause
+
+__all__ = ["ProofNode", "ResolutionProof", "ProofError", "check_proof"]
+
+
+class ProofError(ValueError):
+    """Raised when a recorded proof fails validation."""
+
+
+@dataclass
+class ProofNode:
+    """One clause in the proof DAG.
+
+    ``chain`` is empty for original (root) clauses.  For derived clauses it
+    lists the resolution steps: the derivation starts from clause
+    ``chain[0][1]`` (whose pivot entry is ``None``) and successively resolves
+    with ``chain[i][1]`` on pivot variable ``chain[i][0]``.
+    """
+
+    clause_id: int
+    clause: Clause
+    chain: List[Tuple[Optional[int], int]] = field(default_factory=list)
+    #: Partition label for original clauses (``None`` for derived clauses).
+    partition: Optional[int] = None
+
+    @property
+    def is_original(self) -> bool:
+        return not self.chain
+
+    @property
+    def antecedents(self) -> List[int]:
+        return [cid for _, cid in self.chain]
+
+
+class ResolutionProof:
+    """A recorded resolution refutation (or partial derivation).
+
+    Clause identifiers are dense integers assigned by the solver in creation
+    order, which guarantees antecedents always have smaller identifiers than
+    the clauses derived from them — the property the interpolation replay
+    relies on to process nodes in one pass.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, ProofNode] = {}
+        self._order: List[int] = []
+        self.empty_clause_id: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction (called by the solver)
+    # ------------------------------------------------------------------ #
+    def add_original(self, clause_id: int, clause: Clause,
+                     partition: Optional[int] = None) -> None:
+        """Register an original (input) clause."""
+        if clause_id in self._nodes:
+            raise ProofError(f"duplicate clause id {clause_id}")
+        self._nodes[clause_id] = ProofNode(clause_id, clause, [], partition)
+        self._order.append(clause_id)
+
+    def add_derived(self, clause_id: int, clause: Clause,
+                    chain: Sequence[Tuple[Optional[int], int]]) -> None:
+        """Register a derived clause with its resolution chain."""
+        if clause_id in self._nodes:
+            raise ProofError(f"duplicate clause id {clause_id}")
+        if not chain:
+            raise ProofError("derived clause requires a non-empty chain")
+        if chain[0][0] is not None:
+            raise ProofError("first chain entry must carry no pivot")
+        for pivot, antecedent in chain:
+            if antecedent not in self._nodes:
+                raise ProofError(f"chain references unknown clause {antecedent}")
+            if antecedent >= clause_id:
+                raise ProofError("antecedent ids must precede the derived clause id")
+        self._nodes[clause_id] = ProofNode(clause_id, clause, list(chain), None)
+        self._order.append(clause_id)
+        if len(clause) == 0:
+            self.empty_clause_id = clause_id
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, clause_id: int) -> bool:
+        return clause_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, clause_id: int) -> ProofNode:
+        return self._nodes[clause_id]
+
+    def nodes_in_order(self) -> List[ProofNode]:
+        """All nodes in creation (topological) order."""
+        return [self._nodes[cid] for cid in self._order]
+
+    def original_nodes(self) -> List[ProofNode]:
+        return [n for n in self.nodes_in_order() if n.is_original]
+
+    def derived_nodes(self) -> List[ProofNode]:
+        return [n for n in self.nodes_in_order() if not n.is_original]
+
+    def is_refutation(self) -> bool:
+        """``True`` when the proof derives the empty clause."""
+        return self.empty_clause_id is not None
+
+    def partitions(self) -> Set[int]:
+        """Return the set of partition labels used by original clauses."""
+        return {n.partition for n in self.original_nodes() if n.partition is not None}
+
+    # ------------------------------------------------------------------ #
+    # Core DAG extraction
+    # ------------------------------------------------------------------ #
+    def core_ids(self, root_id: Optional[int] = None) -> List[int]:
+        """Return the clause ids reachable from ``root_id`` (default: the empty clause).
+
+        The result is in topological order (antecedents before consequents)
+        and is the *unsat core DAG* interpolation actually traverses; chains
+        recorded for clauses that never feed the refutation are skipped.
+        """
+        if root_id is None:
+            if self.empty_clause_id is None:
+                raise ProofError("proof does not derive the empty clause")
+            root_id = self.empty_clause_id
+        needed: Set[int] = set()
+        stack = [root_id]
+        while stack:
+            cid = stack.pop()
+            if cid in needed:
+                continue
+            needed.add(cid)
+            stack.extend(self._nodes[cid].antecedents)
+        return [cid for cid in self._order if cid in needed]
+
+    def core_original_clauses(self) -> List[ProofNode]:
+        """Original clauses participating in the refutation."""
+        core = set(self.core_ids())
+        return [n for n in self.original_nodes() if n.clause_id in core]
+
+    def stats(self) -> Dict[str, int]:
+        core = self.core_ids() if self.is_refutation() else []
+        return {
+            "clauses": len(self._nodes),
+            "original": len(self.original_nodes()),
+            "derived": len(self.derived_nodes()),
+            "core": len(core),
+            "refutation": int(self.is_refutation()),
+        }
+
+
+def _resolve_chain(proof: ResolutionProof, node: ProofNode) -> Clause:
+    """Replay one node's chain with explicit resolution; return the result."""
+    current = proof.node(node.chain[0][1]).clause
+    for pivot, antecedent_id in node.chain[1:]:
+        if pivot is None:
+            raise ProofError("only the first chain entry may omit the pivot")
+        antecedent = proof.node(antecedent_id).clause
+        current = current.resolve(antecedent, pivot)
+    return current
+
+
+def check_proof(proof: ResolutionProof, require_refutation: bool = True) -> None:
+    """Validate every recorded chain; raise :class:`ProofError` on failure.
+
+    For each derived clause the chain is replayed with explicit binary
+    resolution; the replayed clause must *subsume or equal* the recorded
+    clause (the solver may record a clause with literals in a different
+    order, but never a logically weaker one).
+    """
+    for node in proof.derived_nodes():
+        replayed = _resolve_chain(proof, node)
+        recorded = set(node.clause.literals)
+        obtained = set(replayed.literals)
+        if not obtained <= recorded and obtained != recorded:
+            raise ProofError(
+                f"clause {node.clause_id}: replayed {sorted(obtained)} is not contained "
+                f"in recorded {sorted(recorded)}")
+        if len(node.clause) == 0 and len(replayed) != 0:
+            raise ProofError(
+                f"clause {node.clause_id} recorded as empty but replays to {replayed}")
+    if require_refutation and not proof.is_refutation():
+        raise ProofError("proof does not derive the empty clause")

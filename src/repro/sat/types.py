@@ -1,0 +1,69 @@
+"""Shared types for the SAT subsystem."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SatResult", "SolverStats", "Budget", "BudgetExceeded"]
+
+
+class SatResult(enum.Enum):
+    """Outcome of a SAT query."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - guard against misuse
+        raise TypeError("SatResult must be compared explicitly, not used as a boolean")
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated by a solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    learned_literals: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    db_reductions: int = 0
+    removed_clauses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "learned_clauses": self.learned_clauses,
+            "learned_literals": self.learned_literals,
+            "restarts": self.restarts,
+            "max_decision_level": self.max_decision_level,
+            "db_reductions": self.db_reductions,
+            "removed_clauses": self.removed_clauses,
+        }
+
+
+class BudgetExceeded(RuntimeError):
+    """Raised internally when a resource budget is exhausted mid-search."""
+
+
+@dataclass
+class Budget:
+    """Resource budget for a single solver call.
+
+    ``max_conflicts`` bounds the number of conflicts, ``max_time`` the wall
+    clock in seconds.  ``None`` means unbounded.  Engines use budgets to
+    emulate the paper's per-instance time limit and report *overflow* rather
+    than hanging.
+    """
+
+    max_conflicts: Optional[int] = None
+    max_time: Optional[float] = None
+
+    def unlimited(self) -> bool:
+        return self.max_conflicts is None and self.max_time is None

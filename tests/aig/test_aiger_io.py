@@ -1,0 +1,131 @@
+"""Tests for the ASCII AIGER reader/writer."""
+
+import pytest
+
+from repro.aig import (
+    Aig,
+    AigerError,
+    Model,
+    dumps_aag,
+    loads_aag,
+    read_aag,
+    write_aag,
+)
+from repro.circuits import counter, token_ring, traffic_light
+
+
+SIMPLE_AAG = """aag 7 2 1 2 4
+2
+4
+6 8 0
+6
+7
+8 4 2
+10 9 7
+12 10 6
+14 12 8
+i0 in_a
+i1 in_b
+l0 state
+o0 out_pos
+o1 out_neg
+c
+hand-written example
+"""
+
+
+def test_parse_simple_document():
+    aig = loads_aag(SIMPLE_AAG)
+    assert aig.num_inputs == 2
+    assert aig.num_latches == 1
+    assert aig.num_ands == 4
+    assert len(aig.outputs) == 2
+    assert aig.input_name(aig.input_vars()[0]) == "in_a"
+    assert aig.latches[0].name == "state"
+    assert aig.latches[0].init == 0
+
+
+def test_outputs_become_bad_when_no_bad_section():
+    aig = loads_aag(SIMPLE_AAG)
+    # Pre-AIGER-1.9 convention: outputs are interpreted as bad literals too.
+    assert len(aig.bad) == 2
+    Model(aig)  # must be usable as a verification model
+
+
+def test_roundtrip_of_generated_circuits():
+    for model in (counter(4, 9), token_ring(5), traffic_light(extra_delay_bits=1)):
+        text = dumps_aag(model.aig)
+        parsed = loads_aag(text)
+        assert parsed.num_inputs == model.aig.num_inputs
+        assert parsed.num_latches == model.aig.num_latches
+        assert parsed.num_ands == model.aig.num_ands
+        assert len(parsed.bad) == len(model.aig.bad)
+        # Latch initial values survive the round trip.
+        assert [l.init for l in parsed.latches] == [l.init for l in model.aig.latches]
+
+
+def test_roundtrip_preserves_behaviour():
+    """The reparsed circuit must have the same BMC verdicts as the original."""
+    from repro.bmc import BmcEngine
+
+    model = counter(4, 5)
+    parsed = Model(loads_aag(dumps_aag(model.aig)))
+    original = BmcEngine(model).run(max_depth=7)
+    reparsed = BmcEngine(parsed).run(max_depth=7)
+    assert original.is_failure == reparsed.is_failure
+    assert original.depth == reparsed.depth
+
+
+def test_file_io(tmp_path):
+    model = token_ring(4)
+    path = str(tmp_path / "ring.aag")
+    write_aag(model.aig, path)
+    parsed = read_aag(path)
+    assert parsed.num_latches == 4
+
+
+def test_uninitialised_latch_roundtrip():
+    aig = Aig()
+    latch = aig.add_latch(init=None, name="free")
+    aig.set_latch_next(latch, latch)
+    aig.add_bad(latch)
+    parsed = loads_aag(dumps_aag(aig))
+    assert parsed.latches[0].init is None
+
+
+def test_constraint_section_roundtrip():
+    aig = Aig()
+    a = aig.add_input()
+    latch = aig.add_latch(init=0)
+    aig.set_latch_next(latch, a)
+    aig.add_bad(latch)
+    aig.add_constraint(a)
+    parsed = loads_aag(dumps_aag(aig))
+    assert len(parsed.constraints) == 1
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(AigerError):
+        loads_aag("aig 1 0 0 0 0\n")
+    with pytest.raises(AigerError):
+        loads_aag("aag x y z\n")
+    with pytest.raises(AigerError):
+        loads_aag("")
+
+
+def test_truncated_body_rejected():
+    with pytest.raises(AigerError):
+        loads_aag("aag 3 2 0 1 1\n2\n4\n")
+
+
+def test_bad_latch_reset_value_rejected():
+    text = "aag 2 1 1 0 0 1 0\n2\n4 2 7\n4\n"
+    with pytest.raises(AigerError):
+        loads_aag(text)
+
+
+def test_literal_used_before_definition_rejected():
+    # AND gate referencing literal 10 which is never defined.
+    text = "aag 5 1 0 1 1\n2\n4\n4 10 2\n"
+    with pytest.raises(AigerError):
+        loads_aag(text)

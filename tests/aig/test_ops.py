@@ -1,0 +1,127 @@
+"""Tests for structural AIG operations: cone copying, COI reduction, levels."""
+
+import pytest
+
+from repro.aig import (
+    Aig,
+    LiteralMapper,
+    Model,
+    cone_of_influence,
+    cone_size,
+    coi_reduce,
+    copy_cone,
+    lit_negate,
+    lit_var,
+    lit_value,
+    simulate_comb,
+    structural_levels,
+)
+from repro.circuits import counter, token_ring
+
+
+def test_copy_cone_preserves_function():
+    src = Aig()
+    a = src.add_input("a")
+    b = src.add_input("b")
+    f = src.op_xor(src.add_and(a, b), src.op_or(a, lit_negate(b)))
+
+    dst = Aig()
+    x = dst.add_input("x")
+    y = dst.add_input("y")
+    [g] = copy_cone(src, dst, [f], {lit_var(a): x, lit_var(b): y})
+
+    for va in (0, 1):
+        for vb in (0, 1):
+            src_val = lit_value(simulate_comb(src, {lit_var(a): va, lit_var(b): vb}), f)
+            dst_val = lit_value(simulate_comb(dst, {lit_var(x): va, lit_var(y): vb}), g)
+            assert src_val == dst_val
+
+
+def test_literal_mapper_requires_leaf_mapping():
+    src = Aig()
+    a = src.add_input()
+    b = src.add_input()
+    f = src.add_and(a, b)
+    dst = Aig()
+    mapper = LiteralMapper(src, dst, {lit_var(a): dst.add_input()})
+    with pytest.raises(KeyError):
+        mapper.copy_lit(f)
+
+
+def test_literal_mapper_shares_structure():
+    src = Aig()
+    a = src.add_input()
+    b = src.add_input()
+    f = src.add_and(a, b)
+    g = src.op_or(f, a)
+    dst = Aig()
+    mapper = LiteralMapper(src, dst, {lit_var(a): dst.add_input(),
+                                      lit_var(b): dst.add_input()})
+    mapper.copy_lit(f)
+    ands_after_f = dst.num_ands
+    mapper.copy_lit(g)
+    # f's gate is reused, only the OR structure is added.
+    assert dst.num_ands > ands_after_f
+    mapper.copy_lit(g)
+    assert dst.num_ands == dst.num_ands  # no growth on repeated copies
+
+
+def test_cone_of_influence_follows_latch_next_functions():
+    aig = Aig()
+    a = aig.add_input()
+    l1 = aig.add_latch(init=0, name="l1")
+    l2 = aig.add_latch(init=0, name="l2")
+    l3 = aig.add_latch(init=0, name="l3")
+    aig.set_latch_next(l1, aig.add_and(l2, a))   # l1 depends on l2
+    aig.set_latch_next(l2, l2)
+    aig.set_latch_next(l3, a)                    # l3 unrelated to the property
+    aig.add_bad(l1)
+    inputs, latches = cone_of_influence(aig, [aig.bad[0]])
+    assert lit_var(l1) in latches
+    assert lit_var(l2) in latches
+    assert lit_var(l3) not in latches
+    assert lit_var(a) in inputs
+
+
+def test_coi_reduce_drops_unrelated_state():
+    model = counter(width=4, target=3)
+    aig = model.aig
+    # Add unrelated latches feeding only an unused output.
+    extra = [aig.add_latch(init=0) for _ in range(3)]
+    for latch in extra:
+        aig.set_latch_next(latch, latch)
+    aig.add_output(extra[0])
+    reduced, latch_map = coi_reduce(aig)
+    assert reduced.num_latches == 4
+    assert len(latch_map) == 4
+    # The reduced model still fails at the same depth.
+    from repro.bmc import BmcEngine
+    result = BmcEngine(Model(reduced)).run(max_depth=5)
+    assert result.is_failure and result.depth == 3
+
+
+def test_coi_reduce_requires_bad_literal():
+    aig = Aig()
+    aig.add_input()
+    with pytest.raises(ValueError):
+        coi_reduce(aig)
+
+
+def test_structural_levels_monotone():
+    model = token_ring(4)
+    levels = structural_levels(model.aig)
+    for gate in model.aig.iter_and_gates():
+        assert levels[gate.var] >= 1
+        assert levels[gate.var] > max(levels[lit_var(gate.left)],
+                                      levels[lit_var(gate.right)]) - 1
+
+
+def test_cone_size_counts_and_gates_only():
+    aig = Aig()
+    a = aig.add_input()
+    b = aig.add_input()
+    assert cone_size(aig, a) == 0
+    g = aig.add_and(a, b)
+    h = aig.op_or(g, a)
+    assert cone_size(aig, g) == 1
+    assert cone_size(aig, h) >= 2

@@ -1,0 +1,155 @@
+"""Tests for bit-parallel simulation, the word-level builder and models."""
+
+import pytest
+
+from repro.aig import Aig, AigBuilder, Model, SequentialSimulator, lit_value, simulate_comb
+from repro.aig.aig import FALSE, TRUE, lit_negate, lit_var
+from repro.circuits import counter, modular_counter, token_ring
+
+
+def test_simulate_comb_and_gate():
+    aig = Aig()
+    a = aig.add_input()
+    b = aig.add_input()
+    g = aig.add_and(a, b)
+    for va in (0, 1):
+        for vb in (0, 1):
+            values = simulate_comb(aig, {lit_var(a): va, lit_var(b): vb})
+            assert lit_value(values, g) == (va & vb)
+            assert lit_value(values, lit_negate(g)) == 1 - (va & vb)
+
+
+def test_simulate_comb_width_parallel():
+    aig = Aig()
+    a = aig.add_input()
+    b = aig.add_input()
+    g = aig.op_xor(a, b)
+    # 4 patterns: a=0011, b=0101 -> xor=0110
+    values = simulate_comb(aig, {lit_var(a): 0b0011, lit_var(b): 0b0101}, width=4)
+    assert lit_value(values, g, width=4) == 0b0110
+
+
+def test_sequential_simulator_counter():
+    model = counter(width=4, target=9)
+    sim = SequentialSimulator(model.aig)
+    enable_var = model.input_vars[0]
+    count_vars = model.latch_vars
+    for step in range(7):
+        sim.step({enable_var: 1})
+    value = sum((1 << i) for i, var in enumerate(count_vars) if sim.state[var])
+    assert value == 7
+
+
+def test_sequential_simulator_reset():
+    model = counter(width=3, target=7)
+    sim = SequentialSimulator(model.aig)
+    sim.step({model.input_vars[0]: 1})
+    sim.reset()
+    assert all(value == 0 for value in sim.state.values())
+
+
+def test_builder_adder_and_comparators():
+    builder = AigBuilder()
+    a = builder.input_word(4, "a")
+    b = builder.input_word(4, "b")
+    total = builder.add_words(a, b)
+    lt = builder.less_than(a, b)
+    eq = builder.equals(a, b)
+    aig = builder.aig
+
+    def run(x, y):
+        values = {}
+        for i, lit in enumerate(a):
+            values[lit_var(lit)] = (x >> i) & 1
+        for i, lit in enumerate(b):
+            values[lit_var(lit)] = (y >> i) & 1
+        sim = simulate_comb(aig, values)
+        got_sum = sum((1 << i) for i, lit in enumerate(total) if lit_value(sim, lit))
+        return got_sum, bool(lit_value(sim, lt)), bool(lit_value(sim, eq))
+
+    for x in (0, 3, 7, 15):
+        for y in (0, 1, 8, 15):
+            got_sum, got_lt, got_eq = run(x, y)
+            assert got_sum == (x + y) % 16
+            assert got_lt == (x < y)
+            assert got_eq == (x == y)
+
+
+def test_builder_mux_shift_onehot():
+    builder = AigBuilder()
+    sel = builder.input_bit("sel")
+    a = builder.input_word(3, "a")
+    b = builder.input_word(3, "b")
+    mux = builder.mux_word(sel, a, b)
+    one_hot = builder.one_hot(a)
+    aig = builder.aig
+
+    def run(s, x, y):
+        values = {lit_var(sel): s}
+        for i, lit in enumerate(a):
+            values[lit_var(lit)] = (x >> i) & 1
+        for i, lit in enumerate(b):
+            values[lit_var(lit)] = (y >> i) & 1
+        sim = simulate_comb(aig, values)
+        got = sum((1 << i) for i, lit in enumerate(mux) if lit_value(sim, lit))
+        hot = bool(lit_value(sim, one_hot))
+        return got, hot
+
+    assert run(1, 5, 2)[0] == 5
+    assert run(0, 5, 2)[0] == 2
+    assert run(0, 4, 0)[1] is True      # 0b100 is one-hot
+    assert run(0, 6, 0)[1] is False     # 0b110 is not
+    assert run(0, 0, 0)[1] is False
+
+
+def test_builder_width_mismatch_raises():
+    builder = AigBuilder()
+    a = builder.input_word(3)
+    b = builder.input_word(4)
+    with pytest.raises(ValueError):
+        builder.add_words(a, b)
+
+
+def test_model_properties_and_initial_state():
+    model = modular_counter(width=4, modulus=10, target=12)
+    assert model.num_latches == 4
+    assert model.property_literal == lit_negate(model.bad_literal)
+    init = model.initial_state()
+    assert all(value is False for value in init.values())
+    assert not model.is_bad_state(init)
+    assert model.initial_cube().as_dict() == init
+
+
+def test_model_next_state_and_bad_detection():
+    model = counter(width=3, target=2)
+    state = model.initial_state()
+    enable = model.input_vars[0]
+    state = model.next_state(state, {enable: True})
+    state = model.next_state(state, {enable: True})
+    assert model.is_bad_state(state)
+
+
+def test_model_requires_bad_literal():
+    aig = Aig()
+    aig.add_input()
+    with pytest.raises(ValueError):
+        Model(aig)
+
+
+def test_token_ring_invariant_under_simulation():
+    model = token_ring(stations=4)
+    sim = SequentialSimulator(model.aig)
+    advance = model.input_vars[0]
+    for step in range(10):
+        values = sim.step({advance: step % 2})
+        assert not lit_value(values, model.bad_literal)
+
+
+def test_model_coi_reduction_keeps_property():
+    model = counter(width=4, target=3)
+    # Add an unrelated latch that the property does not depend on.
+    extra = model.aig.add_latch(init=0, name="unused")
+    model.aig.set_latch_next(extra, extra)
+    reduced = model.reduced()
+    assert reduced.num_latches == 4
+    assert reduced.aig.bad

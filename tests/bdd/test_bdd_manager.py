@@ -1,0 +1,162 @@
+"""Unit tests for the ROBDD manager."""
+
+import itertools
+
+import pytest
+
+from repro.bdd import BddError, BddManager
+
+
+def _truth_table(manager, node, levels):
+    table = []
+    for bits in itertools.product([False, True], repeat=len(levels)):
+        assignment = dict(zip(levels, bits))
+        table.append(manager.evaluate(node, assignment))
+    return table
+
+
+def test_terminals_and_variables():
+    manager = BddManager()
+    assert manager.is_false(manager.FALSE)
+    assert manager.is_true(manager.TRUE)
+    a = manager.new_var()
+    assert manager.evaluate(a, {0: True}) is True
+    assert manager.evaluate(a, {0: False}) is False
+
+
+def test_basic_boolean_operations_match_python():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    cases = {
+        "and": (manager.bdd_and(a, b), lambda x, y: x and y),
+        "or": (manager.bdd_or(a, b), lambda x, y: x or y),
+        "xor": (manager.bdd_xor(a, b), lambda x, y: x != y),
+        "implies": (manager.bdd_implies(a, b), lambda x, y: (not x) or y),
+    }
+    for name, (node, fn) in cases.items():
+        for x in (False, True):
+            for y in (False, True):
+                assert manager.evaluate(node, {0: x, 1: y}) == fn(x, y), name
+
+
+def test_not_and_double_negation():
+    manager = BddManager()
+    a = manager.new_var()
+    na = manager.bdd_not(a)
+    assert manager.bdd_not(na) == a
+    assert manager.bdd_and(a, na) == manager.FALSE
+    assert manager.bdd_or(a, na) == manager.TRUE
+
+
+def test_ite_canonical_and_hash_consing():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    c = manager.new_var()
+    f1 = manager.ite(a, b, c)
+    f2 = manager.ite(a, b, c)
+    assert f1 == f2
+    # (a and b) or (!a and c) built differently must be the same node.
+    alt = manager.bdd_or(manager.bdd_and(a, b),
+                         manager.bdd_and(manager.bdd_not(a), c))
+    assert alt == f1
+
+
+def test_reduction_removes_redundant_tests():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    # (b or !b) does not depend on b.
+    node = manager.bdd_or(b, manager.bdd_not(b))
+    assert node == manager.TRUE
+    node = manager.ite(a, b, b)
+    assert node == b
+
+
+def test_exists_and_forall():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    conj = manager.bdd_and(a, b)
+    assert manager.exists([1], conj) == a
+    assert manager.forall([1], conj) == manager.FALSE
+    disj = manager.bdd_or(a, b)
+    assert manager.exists([0, 1], disj) == manager.TRUE
+    assert manager.forall([1], disj) == a
+
+
+def test_and_exists_equals_exists_of_and():
+    manager = BddManager()
+    variables = [manager.new_var() for _ in range(4)]
+    a, b, c, d = variables
+    f = manager.bdd_or(manager.bdd_and(a, b), c)
+    g = manager.bdd_or(manager.bdd_and(b, d), manager.bdd_not(c))
+    direct = manager.exists([1, 2], manager.bdd_and(f, g))
+    fused = manager.and_exists(f, g, [1, 2])
+    assert direct == fused
+
+
+def test_compose_and_rename():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    c = manager.new_var()
+    f = manager.bdd_and(a, manager.bdd_not(b))
+    # Substitute b := c; result should be a & !c.
+    composed = manager.compose(f, {1: c})
+    expected = manager.bdd_and(a, manager.bdd_not(c))
+    assert composed == expected
+    renamed = manager.rename(f, {0: 2, 1: 1})
+    expected2 = manager.bdd_and(c, manager.bdd_not(b))
+    assert renamed == expected2
+
+
+def test_count_solutions_and_pick_assignment():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    c = manager.new_var()
+    f = manager.bdd_or(manager.bdd_and(a, b), manager.bdd_and(b, c))
+    # Truth table count: a&b covers 2 (c free), b&c covers 2 (a free), overlap 1 -> 3.
+    assert manager.count_solutions(f) == 3
+    assignment = manager.pick_assignment(f)
+    assert manager.evaluate(f, assignment)
+    assert manager.pick_assignment(manager.FALSE) is None
+    assert manager.count_solutions(manager.TRUE) == 8
+    assert manager.count_solutions(manager.FALSE) == 0
+
+
+def test_size_counts_internal_nodes():
+    manager = BddManager()
+    a = manager.new_var()
+    b = manager.new_var()
+    assert manager.size(manager.TRUE) == 0
+    assert manager.size(a) == 1
+    assert manager.size(manager.bdd_and(a, b)) == 2
+
+
+def test_evaluate_complex_function_against_truth_table():
+    manager = BddManager()
+    variables = [manager.new_var() for _ in range(4)]
+    a, b, c, d = variables
+    f = manager.bdd_xor(manager.bdd_and(a, b), manager.bdd_or(c, d))
+    for bits in itertools.product([False, True], repeat=4):
+        expected = (bits[0] and bits[1]) != (bits[2] or bits[3])
+        assert manager.evaluate(f, dict(enumerate(bits))) == expected
+
+
+def test_node_limit_raises():
+    manager = BddManager(max_nodes=4)
+    a = manager.new_var()
+    b = manager.new_var()
+    with pytest.raises(BddError):
+        for _ in range(10):
+            c = manager.new_var()
+            a = manager.bdd_xor(a, manager.bdd_and(b, c))
+
+
+def test_var_bdd_rejects_unknown_level():
+    manager = BddManager()
+    with pytest.raises(BddError):
+        manager.var_bdd(3)

@@ -1,0 +1,129 @@
+"""Integration tests for the BMC unroller, checks and falsification engine."""
+
+import pytest
+
+from repro.bmc import BmcCheckKind, BmcEngine, build_assume_check, build_bound_check, build_exact_check
+from repro.circuits import (
+    bounded_queue,
+    combination_lock,
+    counter,
+    mutual_exclusion,
+    pipeline_valid,
+    round_robin_arbiter,
+    token_ring,
+    traffic_light,
+)
+from repro.sat import SatResult
+
+
+def test_counter_fails_at_expected_depth():
+    model = counter(width=4, target=5)
+    result = BmcEngine(model).run(max_depth=8)
+    assert result.is_failure
+    assert result.depth == 5
+    assert result.trace is not None
+    assert result.trace.check(model)
+
+
+def test_counter_no_cex_below_target_depth():
+    model = counter(width=5, target=12)
+    result = BmcEngine(model).run(max_depth=8)
+    assert result.status == "no_cex"
+    assert result.checked_depth == 8
+
+
+def test_all_three_check_kinds_agree_on_failure_depth():
+    model = token_ring(stations=4, buggy=True)
+    depths = {}
+    for kind in BmcCheckKind:
+        result = BmcEngine(model, check_kind=kind).run(max_depth=6)
+        assert result.is_failure
+        depths[kind] = result.depth
+    assert len(set(depths.values())) == 1
+
+
+def test_safe_designs_have_no_shallow_cex():
+    for model in (token_ring(4), round_robin_arbiter(3), mutual_exclusion(),
+                  traffic_light(extra_delay_bits=1), pipeline_valid(3),
+                  bounded_queue(2, guarded=True)):
+        result = BmcEngine(model).run(max_depth=4)
+        assert result.status == "no_cex", model.name
+
+
+def test_buggy_designs_fail_and_traces_replay():
+    for model, max_depth in ((token_ring(4, buggy=True), 5),
+                             (round_robin_arbiter(3, buggy=True), 4),
+                             (mutual_exclusion(buggy=True), 5),
+                             (pipeline_valid(3, buggy=True), 4),
+                             (bounded_queue(2, guarded=False), 6)):
+        result = BmcEngine(model).run(max_depth=max_depth)
+        assert result.is_failure, model.name
+        assert result.trace.check(model), model.name
+
+
+def test_combination_lock_depth_matches_digit_count():
+    model = combination_lock(digits=3, width=2)
+    result = BmcEngine(model).run(max_depth=6)
+    assert result.is_failure
+    assert result.depth == 4  # 3 correct symbols + 1 cycle for the sticky latch
+
+
+def test_initial_state_violation_detected_at_depth_zero():
+    model = counter(width=3, target=0)
+    result = BmcEngine(model).run(max_depth=3)
+    assert result.is_failure
+    assert result.depth == 0
+
+
+def test_exact_check_unsat_below_failure_depth():
+    model = counter(width=4, target=6)
+    unroller = build_exact_check(model, k=3, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.UNSAT
+    unroller = build_exact_check(model, k=6, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.SAT
+
+
+def test_bound_check_catches_any_depth_up_to_k():
+    model = counter(width=4, target=2)
+    unroller = build_bound_check(model, k=5, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.SAT
+    unroller = build_bound_check(model, k=1, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.UNSAT
+
+
+def test_assume_check_requires_property_before_failure():
+    # The target value 0 is bad in the initial state; an assume-2 check must
+    # therefore be UNSAT (p must hold at frame 1, and failing at exactly 2
+    # while p held at 1 is impossible for target 2 only if...).  Use a model
+    # failing at depth 1 to exercise the "p holds strictly before k" clauses.
+    model = counter(width=3, target=1)
+    unroller = build_assume_check(model, k=1, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.SAT
+    # At k=2 a path failing exactly at 2 with p at 1 does not exist: counting
+    # past 1 requires hitting 1 (bad) at frame 1, violating the assume clause;
+    # staying at 0 for a frame then stepping reaches 1 (bad) only at frame 2 —
+    # which is allowed, so this is SAT.  Use the enable to check both cases.
+    unroller = build_assume_check(model, k=2, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.SAT
+
+
+def test_bmc_bound_rejected():
+    model = counter(width=3, target=1)
+    with pytest.raises(ValueError):
+        build_exact_check(model, k=0)
+
+
+def test_unroller_cut_map_covers_all_latches():
+    model = counter(width=4, target=9)
+    unroller = build_exact_check(model, k=3)
+    cut = unroller.cut_var_map(2)
+    assert len(cut) == model.num_latches
+    assert set(lit >> 1 for lit in cut.values()) == set(model.latch_vars)
+
+
+def test_trace_padding_and_length():
+    model = counter(width=3, target=2)
+    result = BmcEngine(model).run(max_depth=4)
+    trace = result.trace
+    assert len(trace) == trace.depth + 1
+    assert trace.input_at(trace.depth) is not None

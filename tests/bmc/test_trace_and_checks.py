@@ -1,0 +1,99 @@
+"""Unit tests for counterexample traces and check-builder details."""
+
+import pytest
+
+from repro.bmc import BmcCheckKind, Trace, build_check
+from repro.circuits import counter, token_ring
+from repro.sat import SatResult
+
+
+def test_trace_padding_of_missing_input_frames():
+    model = counter(width=3, target=2)
+    trace = Trace(initial_state={var: False for var in model.latch_vars},
+                  inputs=[{model.input_vars[0]: True}], depth=2)
+    assert len(trace.inputs) == 3
+    assert trace.input_at(2) == {}
+    assert trace.input_at(5) == {}
+
+
+def test_trace_states_replay_counter_values():
+    model = counter(width=3, target=5)
+    enable = model.input_vars[0]
+    trace = Trace(initial_state={var: False for var in model.latch_vars},
+                  inputs=[{enable: True}] * 4, depth=3)
+    states = trace.states(model)
+    values = [sum((1 << i) for i, var in enumerate(model.latch_vars) if s[var])
+              for s in states]
+    assert values == [0, 1, 2, 3]
+
+
+def test_trace_check_rejects_wrong_initial_state():
+    model = counter(width=3, target=1)
+    trace = Trace(initial_state={model.latch_vars[0]: True}, inputs=[{}], depth=0)
+    assert not trace.check(model)
+
+
+def test_trace_check_rejects_non_violating_trace():
+    model = counter(width=3, target=5)
+    trace = Trace(initial_state={var: False for var in model.latch_vars},
+                  inputs=[{}], depth=0)
+    assert not trace.check(model)
+
+
+def test_trace_check_accepts_genuine_counterexample():
+    model = counter(width=3, target=2)
+    enable = model.input_vars[0]
+    trace = Trace(initial_state={var: False for var in model.latch_vars},
+                  inputs=[{enable: True}, {enable: True}, {}], depth=2)
+    assert trace.check(model)
+
+
+def test_build_check_dispatch_and_invalid_bound():
+    model = token_ring(3)
+    for kind in BmcCheckKind:
+        unroller = build_check(kind, model, 2, proof_logging=False)
+        assert unroller.solver.solve() in (SatResult.SAT, SatResult.UNSAT)
+    with pytest.raises(ValueError):
+        build_check(BmcCheckKind.EXACT, model, 0)
+
+
+def test_partition_labels_cover_expected_range():
+    model = token_ring(3)
+    k = 3
+    unroller = build_check(BmcCheckKind.ASSUME, model, k, proof_logging=True)
+    assert unroller.solver.solve() is SatResult.UNSAT
+    labels = unroller.solver.proof().partitions()
+    assert labels <= set(range(1, k + 2))
+    assert 1 in labels and (k + 1) in labels
+
+
+def test_custom_initial_constraint_callback():
+    model = counter(width=3, target=1)
+
+    def start_at_three(unroller):
+        # Constrain frame 0 to counter value 3: at frame 1 the counter is 3 or
+        # 4, so the target value 1 is unreachable and the check must be UNSAT.
+        values = {model.latch_vars[0]: True, model.latch_vars[1]: True}
+        for var in model.latch_vars[2:]:
+            values[var] = False
+        unroller.assert_state_cube(values, frame=0, partition=1)
+
+    unroller = build_check(BmcCheckKind.EXACT, model, 1, proof_logging=False,
+                           initial=start_at_three)
+    assert unroller.solver.solve() is SatResult.UNSAT
+
+    unroller = build_check(BmcCheckKind.EXACT, model, 1, proof_logging=False)
+    assert unroller.solver.solve() is SatResult.SAT
+
+
+def test_unroller_num_frames_grows_lazily():
+    from repro.bmc import Unroller
+    from repro.sat import CdclSolver
+
+    model = token_ring(3)
+    unroller = Unroller(model, CdclSolver())
+    assert unroller.num_frames == 0
+    unroller.frame(2)
+    assert unroller.num_frames == 3
+    assert unroller.latch_cnf_var(1, model.latch_vars[0]) > 0
+    assert unroller.input_cnf_var(0, model.input_vars[0]) > 0

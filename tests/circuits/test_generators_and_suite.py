@@ -1,0 +1,152 @@
+"""Tests for the benchmark circuit generators and the evaluation suite."""
+
+import pytest
+
+from repro.aig import SequentialSimulator, lit_value
+from repro.bdd import check_with_bdds
+from repro.circuits import (
+    SuiteInstance,
+    academic_suite,
+    bounded_queue,
+    combination_lock,
+    controller_datapath,
+    counter,
+    full_suite,
+    gray_counter,
+    industrial_suite,
+    modular_counter,
+    mutual_exclusion,
+    parity_chain,
+    pipeline_valid,
+    quick_suite,
+    round_robin_arbiter,
+    shift_register_pattern,
+    token_ring,
+    traffic_light,
+)
+
+
+def test_counter_structure():
+    model = counter(width=5, target=10)
+    assert model.num_latches == 5
+    assert model.num_inputs == 1
+    model = counter(width=3, target=100)     # unreachable target -> constant bad
+    assert model.bad_literal == 0
+
+
+def test_counter_without_enable():
+    model = counter(width=3, target=5, with_enable=False)
+    assert model.num_inputs == 0
+    verdict = check_with_bdds(model)
+    assert verdict.is_fail and verdict.failure_depth == 5
+
+
+def test_modular_counter_validation():
+    with pytest.raises(ValueError):
+        modular_counter(width=3, modulus=9, target=1)
+    with pytest.raises(ValueError):
+        modular_counter(width=3, modulus=1, target=0)
+
+
+def test_modular_counter_reachable_set():
+    model = modular_counter(width=4, modulus=5, target=9)
+    verdict = check_with_bdds(model)
+    assert verdict.is_pass
+    assert verdict.num_reachable_states == 5
+
+
+@pytest.mark.parametrize("factory,latches", [
+    (lambda: token_ring(7), 7),
+    (lambda: round_robin_arbiter(6), 6),
+    (lambda: pipeline_valid(5), 6),          # stages + shadow latch
+    (lambda: parity_chain(4), 5),            # chain + shadow latch
+    (lambda: bounded_queue(3), 4),           # occupancy bits + 1
+])
+def test_generator_latch_counts(factory, latches):
+    assert factory().num_latches == latches
+
+
+def test_gray_counter_with_reachable_bad_code_fails():
+    model = gray_counter(3, bad_code=0b110)   # gray(4) = 110 -> reachable at depth 4
+    verdict = check_with_bdds(model)
+    assert verdict.is_fail
+    assert verdict.failure_depth == 4
+
+
+def test_shift_register_reachable_pattern_depth():
+    model = shift_register_pattern(4, 0b1111, reachable=True)
+    verdict = check_with_bdds(model)
+    assert verdict.is_fail
+    assert verdict.failure_depth == 4
+
+
+def test_combination_lock_resets_on_wrong_symbol():
+    model = combination_lock(digits=3, width=2, code=[1, 2, 3])
+    sim = SequentialSimulator(model.aig)
+    sym_vars = model.input_vars
+    # Feed a wrong second symbol; the lock must not open within 5 steps.
+    for symbol in (1, 0, 1, 2, 3):
+        sim.step({var: (symbol >> i) & 1 for i, var in enumerate(sym_vars)})
+        state = {var: int(val) for var, val in sim.state.items()}
+        assert not model.is_bad_state(state)
+
+
+def test_controller_datapath_property_only_on_controller():
+    from repro.abstraction import property_support_latches
+    model = controller_datapath(8, stages=4)
+    support = property_support_latches(model)
+    names = {model.aig.latch(v).name for v in support}
+    assert all(name.startswith("ph") for name in names)
+
+
+def test_traffic_light_buggy_fails_quickly():
+    verdict = check_with_bdds(traffic_light(extra_delay_bits=1, buggy=True))
+    assert verdict.is_fail and verdict.failure_depth == 1
+
+
+def test_mutual_exclusion_turn_alternation():
+    model = mutual_exclusion()
+    sim = SequentialSimulator(model.aig)
+    req_vars = model.input_vars
+    for _ in range(12):
+        values = sim.step({var: 1 for var in req_vars})
+        assert not lit_value(values, model.bad_literal)
+
+
+def test_every_suite_instance_builds_and_has_metadata():
+    for instance in full_suite():
+        model = instance.build()
+        assert model.num_latches >= 1
+        assert model.aig.bad, instance.name
+        assert instance.expected in ("pass", "fail")
+        assert instance.category in ("academic", "industrial")
+        assert instance.description
+        if instance.expected == "fail" and instance.expected_depth is not None:
+            assert instance.expected_depth >= 0
+
+
+def test_suite_blocks_are_disjoint_and_cover_full_suite():
+    academic = {i.name for i in academic_suite()}
+    industrial = {i.name for i in industrial_suite()}
+    assert not academic & industrial
+    assert academic | industrial == {i.name for i in full_suite()}
+    assert {i.name for i in quick_suite()} <= academic | industrial
+
+
+def test_suite_failure_depths_match_bdd_ground_truth():
+    for instance in full_suite():
+        if instance.expected != "fail" or instance.expected_depth is None:
+            continue
+        if instance.skip_bdd:
+            continue
+        verdict = check_with_bdds(instance.build(), max_nodes=400_000,
+                                  time_limit=20.0)
+        assert verdict.is_fail, instance.name
+        assert verdict.failure_depth == instance.expected_depth, instance.name
+
+
+def test_suite_has_balanced_verdicts():
+    suite = full_suite()
+    passes = sum(1 for i in suite if i.expected == "pass")
+    fails = sum(1 for i in suite if i.expected == "fail")
+    assert passes >= 10 and fails >= 8

@@ -1,0 +1,166 @@
+"""Property-based tests over randomly generated circuits.
+
+These tests build random combinational AIGs and random small sequential
+models with hypothesis, then cross-check the independent implementations
+against each other:
+
+* Tseitin encoding + CDCL against bit-parallel simulation;
+* BDD construction against simulation;
+* AIGER round-trips against the original structure;
+* Craig interpolants extracted from random inconsistent (A, B) splits.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aig import (
+    Aig,
+    lit_negate,
+    lit_var,
+    lit_value,
+    loads_aag,
+    dumps_aag,
+    simulate_comb,
+)
+from repro.bdd import BddManager
+from repro.cnf import encode_combinational
+from repro.itp import InterpolantBuilder, check_craig_conditions
+from repro.sat import CdclSolver, SatResult
+
+
+def _random_combinational_aig(rng, num_inputs, num_gates):
+    """Build a random AIG; return (aig, input literals, root literal)."""
+    aig = Aig("random")
+    inputs = [aig.add_input(f"i{k}") for k in range(num_inputs)]
+    pool = list(inputs) + [1]          # literals to draw operands from
+    literal = pool[0]
+    for _ in range(num_gates):
+        a = rng.choice(pool)
+        b = rng.choice(pool)
+        if rng.random() < 0.5:
+            a = lit_negate(a)
+        if rng.random() < 0.5:
+            b = lit_negate(b)
+        literal = aig.add_and(a, b)
+        pool.append(literal)
+    root = lit_negate(literal) if rng.random() < 0.5 else literal
+    return aig, inputs, root
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), num_inputs=st.integers(1, 5),
+       num_gates=st.integers(1, 25))
+def test_tseitin_encoding_matches_simulation(seed, num_inputs, num_gates):
+    rng = random.Random(seed)
+    aig, inputs, root = _random_combinational_aig(rng, num_inputs, num_gates)
+    cnf, [root_lit], var_map = encode_combinational(aig, [root])
+    for pattern in range(1 << num_inputs):
+        input_values = {lit_var(lit): (pattern >> i) & 1
+                        for i, lit in enumerate(inputs)}
+        expected = lit_value(simulate_comb(aig, input_values), root)
+        solver = CdclSolver()
+        for clause in cnf.clauses:
+            solver.add_clause(list(clause.literals))
+        for i, lit in enumerate(inputs):
+            if lit_var(lit) not in var_map:
+                continue    # input outside the root's cone: irrelevant to it
+            cnf_var = var_map[lit_var(lit)]
+            solver.add_clause([cnf_var if (pattern >> i) & 1 else -cnf_var])
+        solver.add_clause([root_lit if expected else -root_lit])
+        assert solver.solve() is SatResult.SAT
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), num_inputs=st.integers(1, 5),
+       num_gates=st.integers(1, 30))
+def test_bdd_construction_matches_simulation(seed, num_inputs, num_gates):
+    rng = random.Random(seed)
+    aig, inputs, root = _random_combinational_aig(rng, num_inputs, num_gates)
+    manager = BddManager()
+    leaf_bdds = {lit_var(lit): manager.new_var() for lit in inputs}
+
+    cache = dict(leaf_bdds)
+
+    def build(lit):
+        var = lit_var(lit)
+        if var == 0:
+            node = manager.FALSE
+        elif var in cache:
+            node = cache[var]
+        else:
+            gate = aig.and_gate(var)
+            node = manager.bdd_and(build(gate.left), build(gate.right))
+            cache[var] = node
+        return manager.bdd_not(node) if lit & 1 else node
+
+    bdd = build(root)
+    for pattern in range(1 << num_inputs):
+        input_values = {lit_var(lit): (pattern >> i) & 1
+                        for i, lit in enumerate(inputs)}
+        expected = bool(lit_value(simulate_comb(aig, input_values), root))
+        assignment = {manager.level_of(leaf_bdds[lit_var(lit)]): bool((pattern >> i) & 1)
+                      for i, lit in enumerate(inputs)}
+        assert manager.evaluate(bdd, assignment) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), num_inputs=st.integers(1, 4),
+       num_gates=st.integers(1, 20))
+def test_aiger_roundtrip_preserves_combinational_function(seed, num_inputs, num_gates):
+    rng = random.Random(seed)
+    aig, inputs, root = _random_combinational_aig(rng, num_inputs, num_gates)
+    aig.add_bad(root, "prop")
+    parsed = loads_aag(dumps_aag(aig))
+    assert parsed.num_inputs == aig.num_inputs
+    parsed_root = parsed.bad[0]
+    parsed_inputs = [2 * v for v in parsed.input_vars()]
+    for pattern in range(1 << num_inputs):
+        original = lit_value(simulate_comb(
+            aig, {lit_var(lit): (pattern >> i) & 1 for i, lit in enumerate(inputs)}),
+            root)
+        reparsed = lit_value(simulate_comb(
+            parsed, {lit_var(lit): (pattern >> i) & 1
+                     for i, lit in enumerate(parsed_inputs)}), parsed_root)
+        assert original == reparsed
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), num_shared=st.integers(1, 3),
+       system=st.sampled_from(["mcmillan", "pudlak"]))
+def test_random_interpolants_satisfy_craig_conditions(seed, num_shared, system):
+    """Random inconsistent (A, B) pairs over shared + local variables."""
+    rng = random.Random(seed)
+    # Variables: 1..num_shared shared, then A-locals, then B-locals.
+    a_locals = [num_shared + 1 + i for i in range(2)]
+    b_locals = [num_shared + 3 + i for i in range(2)]
+    shared = list(range(1, num_shared + 1))
+
+    def random_clauses(local_vars, count):
+        clauses = []
+        for _ in range(count):
+            size = rng.randint(1, 3)
+            pool = shared + local_vars
+            chosen = rng.sample(pool, min(size, len(pool)))
+            clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+        return clauses
+
+    # Force inconsistency through a shared pivot: A implies s1, B implies -s1.
+    a_clauses = random_clauses(a_locals, rng.randint(1, 4)) + [[shared[0]]]
+    b_clauses = random_clauses(b_locals, rng.randint(1, 4)) + [[-shared[0]]]
+
+    solver = CdclSolver(proof_logging=True)
+    for clause in a_clauses:
+        solver.add_clause(clause, partition=1)
+    for clause in b_clauses:
+        solver.add_clause(clause, partition=2)
+    result = solver.solve()
+    assert result is SatResult.UNSAT
+    proof = solver.proof()
+
+    aig = Aig()
+    cut_map = {var: aig.add_input(f"s{var}") for var in shared}
+    builder = InterpolantBuilder(aig, cut_map, system=system)
+    itp = builder.extract(proof, a_partitions=[1])
+    ok_a, ok_b = check_craig_conditions(proof, [1], itp, aig, cut_map)
+    assert ok_a and ok_b

@@ -1,0 +1,70 @@
+"""Property-based tests: the CDCL solver against reference oracles."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnf import Cnf
+from repro.sat import CdclSolver, SatResult, brute_force_sat, check_proof, verify_model
+
+
+def _random_cnf(rng, num_vars, num_clauses, width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, width)
+        variables = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return clauses
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000), num_vars=st.integers(3, 10),
+       ratio=st.floats(2.0, 6.0))
+def test_cdcl_agrees_with_brute_force(seed, num_vars, ratio):
+    rng = random.Random(seed)
+    clauses = _random_cnf(rng, num_vars, int(num_vars * ratio))
+    solver = CdclSolver(proof_logging=True)
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    expected_sat, _ = brute_force_sat(Cnf(clauses))
+    if expected_sat:
+        assert result is SatResult.SAT
+        assert verify_model(Cnf(clauses), solver.model())
+    else:
+        assert result is SatResult.UNSAT
+        check_proof(solver.proof())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_cdcl_model_on_larger_sat_instances(seed):
+    rng = random.Random(seed)
+    num_vars = 30
+    clauses = _random_cnf(rng, num_vars, 60)
+    solver = CdclSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    result = solver.solve()
+    if result is SatResult.SAT:
+        assert verify_model(Cnf(clauses), solver.model())
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), num_vars=st.integers(4, 8))
+def test_assumption_answers_match_unit_clauses(seed, num_vars):
+    """solve(assumptions=A) must equal solving with A added as unit clauses."""
+    rng = random.Random(seed)
+    clauses = _random_cnf(rng, num_vars, num_vars * 3)
+    assumptions = [v if rng.random() < 0.5 else -v
+                   for v in rng.sample(range(1, num_vars + 1), 2)]
+    incremental = CdclSolver()
+    for clause in clauses:
+        incremental.add_clause(clause)
+    res_assume = incremental.solve(assumptions=assumptions)
+
+    monolithic = CdclSolver()
+    for clause in clauses + [[a] for a in assumptions]:
+        monolithic.add_clause(clause)
+    res_units = monolithic.solve()
+    assert res_assume is res_units
