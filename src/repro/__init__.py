@@ -9,6 +9,15 @@ The package provides, in pure Python:
   (:mod:`repro.itp`);
 * bounded model checking with the bound-k / exact-k / assume-k check
   formulations (:mod:`repro.bmc`);
+* an *incremental* solving subsystem: clause additions between solver
+  calls, activation-literal clause groups
+  (:meth:`CdclSolver.new_group <repro.sat.solver.CdclSolver.new_group>` /
+  :meth:`release_group <repro.sat.solver.CdclSolver.release_group>`),
+  learned-clause / VSIDS / phase persistence across calls, per-call
+  :class:`~repro.sat.types.SolverStats` snapshots, and
+  :class:`~repro.bmc.incremental.IncrementalUnroller` — one persistent
+  solver across all BMC unrolling depths, used by :class:`BmcEngine` (its
+  default mode) and by every engine's counterexample search;
 * the four unbounded model-checking engines compared in the paper —
   standard interpolation, interpolation sequences, serial interpolation
   sequences and interpolation sequences with counterexample-based
@@ -29,7 +38,7 @@ Quickstart
 """
 
 from .aig import Aig, AigBuilder, Model, read_aag, write_aag
-from .bmc import BmcCheckKind, BmcEngine, Trace
+from .bmc import BmcCheckKind, BmcEngine, IncrementalUnroller, Trace
 from .core import (
     ENGINES,
     EngineOptions,
@@ -54,6 +63,7 @@ __all__ = [
     "write_aag",
     "BmcCheckKind",
     "BmcEngine",
+    "IncrementalUnroller",
     "Trace",
     "ENGINES",
     "EngineOptions",

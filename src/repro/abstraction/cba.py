@@ -4,17 +4,28 @@ Given an abstract counterexample produced on a localization-abstracted
 model, :func:`extend_counterexample` decides whether it concretises:
 
 * the concrete model is unrolled to the same depth (exact-k);
-* the abstract trace's values for the *real* primary inputs are added as
-  unit clauses;
-* the abstract trace's values for the *pseudo* inputs (the invisible
-  latches) are passed as **assumptions**.
+* the abstract trace's values for the *real* primary inputs and for the
+  *pseudo* inputs (the invisible latches) are passed as **assumptions**.
 
 A satisfiable answer yields a genuine concrete counterexample.  An
-unsatisfiable one proves the abstract trace spurious, and the solver's
-final conflict over the assumptions points directly at the invisible-latch
-values that the concrete transition relation contradicts — those latches
-are the refinement candidates (REFINE), in the spirit of the single-instance
-SAT formulation of Eén, Mishchenko & Amla cited by the paper.
+unsatisfiable one proves the abstract trace spurious, and the
+invisible-latch assumptions in the solver's final conflict point at the
+values the concrete transition relation contradicts — those latches are
+the refinement candidates (REFINE), in the spirit of the single-instance
+SAT formulation of Eén, Mishchenko & Amla cited by the paper.  The final
+conflict may also implicate pinned *input* literals; those carry no
+refinement information and are filtered out, and if the conflict consists
+of inputs alone, :func:`choose_refinement` falls back to its structural
+heuristic (which still guarantees progress).
+
+Because *everything* trace-specific is an assumption, the concrete
+unrolling itself is reusable: callers may pass a persistent
+:class:`~repro.bmc.incremental.IncrementalUnroller` (exact-mode, over the
+concrete model) and every EXTEND query of a whole verification run — often
+several per bound, across all bounds — then shares one solver, one
+encoding of each time frame and one learned-clause database.  Without a
+searcher each call builds a throwaway exact-k check, re-encoding the
+unrolling from scratch.
 """
 
 from __future__ import annotations
@@ -24,7 +35,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..aig.model import Model
 from ..bmc.cex import Trace
-from ..bmc.checks import build_exact_check
+from ..bmc.checks import BmcCheckKind, build_exact_check
+from ..bmc.incremental import IncrementalUnroller
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SatResult
 from .localization import LocalizationAbstraction
@@ -52,17 +64,18 @@ def extend_counterexample(
     abstract_trace: Trace,
     depth: int,
     budget: Optional[Budget] = None,
+    searcher: Optional[IncrementalUnroller] = None,
 ) -> ExtensionOutcome:
     """EXTEND: check an abstract counterexample on the concrete model.
 
     Returns an :class:`ExtensionOutcome` carrying either the concrete trace
     or the (frame, latch) pairs whose abstract values the concrete model
-    refutes.
+    refutes.  ``searcher``, when given, must be an exact-mode
+    :class:`~repro.bmc.incremental.IncrementalUnroller` over ``concrete``;
+    it is extended to ``depth`` and reused, so repeated EXTEND queries share
+    one solver instead of re-encoding the unrolling each time.
     """
-    solver = CdclSolver(proof_logging=False)
-    unroller = build_exact_check(concrete, depth, solver=solver,
-                                 proof_logging=False) if depth >= 1 else None
-    if unroller is None:
+    if depth < 1:
         # Depth-0 abstract counterexamples: the concrete initial state either
         # violates the property or it does not; delegate to simulation.
         initial = concrete.initial_state()
@@ -72,22 +85,43 @@ def extend_counterexample(
         return ExtensionOutcome(conflicting=[
             (0, var) for var in abstraction.invisible_latches()])
 
-    # Pin the real primary inputs to the abstract trace's values.
+    if searcher is not None:
+        if searcher.model is not concrete or \
+                searcher.check_kind is not BmcCheckKind.EXACT:
+            raise ValueError("EXTEND needs an exact-mode incremental unroller "
+                             "over the concrete model")
+        if searcher.depth > depth:
+            # The searcher's armed bad target sits at its current depth and
+            # cannot be retracted backwards; answering a shallower query on
+            # it would silently check the wrong frame.
+            raise ValueError(
+                f"extension searcher is already at depth {searcher.depth}, "
+                f"deeper than the queried depth {depth}")
+        searcher.extend_to(depth)
+        solver = searcher.solver
+        unroller = searcher.unroller
+        assumptions: List[int] = searcher.assumptions()
+    else:
+        solver = CdclSolver(proof_logging=False)
+        unroller = build_exact_check(concrete, depth, solver=solver,
+                                     proof_logging=False)
+        assumptions = []
+
+    # Pin the real primary inputs to the abstract trace's values.  These are
+    # assumptions, not unit clauses, so the unrolling stays reusable.
     inverse_inputs = {abs_var: conc_var
                       for conc_var, abs_var in abstraction.input_map.items()}
     for frame in range(depth + 1):
         abstract_inputs = abstract_trace.input_at(frame)
-        concrete_values = {}
         for abs_var, value in abstract_inputs.items():
             conc_var = inverse_inputs.get(abs_var)
             if conc_var is not None:
-                concrete_values[conc_var] = value
-        unroller.assert_input_values(concrete_values, frame, partition=None)
+                cnf_var = unroller.input_cnf_var(frame, conc_var)
+                assumptions.append(cnf_var if value else -cnf_var)
 
     # Pass the invisible-latch values as assumptions, remembering which
     # assumption literal encodes which (frame, latch) pair.
     assumption_index: Dict[int, Tuple[int, int]] = {}
-    assumptions: List[int] = []
     for frame in range(depth + 1):
         abstract_inputs = abstract_trace.input_at(frame)
         for conc_latch, pseudo_var in abstraction.pseudo_input_map.items():

@@ -9,6 +9,7 @@ from .checks import (
     build_exact_check,
 )
 from .engine import BmcEngine, BmcResult
+from .incremental import IncrementalUnroller
 from .unroll import Unroller
 
 __all__ = [
@@ -20,5 +21,6 @@ __all__ = [
     "build_exact_check",
     "BmcEngine",
     "BmcResult",
+    "IncrementalUnroller",
     "Unroller",
 ]

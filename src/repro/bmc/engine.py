@@ -5,6 +5,21 @@ activity ITPSEQs are so close to: unroll to increasing depths, look for a
 counterexample, stop at the first failing depth or at the depth/resource
 limit.  It is used directly by the falsification example, by the CBA
 abstraction loop (on the abstract model) and by several integration tests.
+
+Two execution modes are offered:
+
+* **incremental** (the default) — one persistent solver for the whole run
+  via :class:`~repro.bmc.incremental.IncrementalUnroller`: O(k) total
+  encoding work, learned clauses / activities / phases carried across
+  depths;
+* **fresh-solver** (``incremental=False``) — the original monolithic
+  behaviour, one solver and one full re-encoding per depth.  Kept both as
+  the reference for equivalence testing and because it is the only mode
+  compatible with proof logging.
+
+Both modes produce identical verdicts, failure depths and replayable
+traces; ``benchmarks/test_bench_incremental.py`` asserts the O(k²) → O(k)
+clause-work drop.
 """
 
 from __future__ import annotations
@@ -15,9 +30,10 @@ from typing import Dict, List, Optional
 
 from ..aig.model import Model
 from ..sat.solver import CdclSolver
-from ..sat.types import Budget, SatResult
+from ..sat.types import Budget, SatResult, SolverStats
 from .cex import Trace
 from .checks import BmcCheckKind, build_check
+from .incremental import IncrementalUnroller
 from .unroll import Unroller
 
 __all__ = ["BmcResult", "BmcEngine"]
@@ -29,6 +45,10 @@ class BmcResult:
 
     ``status`` is one of ``"fail"`` (counterexample found), ``"no_cex"``
     (no failure up to ``max_depth``) or ``"unknown"`` (resource limit hit).
+    ``clause_additions`` / ``conflicts`` aggregate the solver work across
+    the whole run (all solvers in fresh-solver mode, the single persistent
+    one in incremental mode); ``per_depth_clauses`` attributes the clause
+    additions to the depth whose check triggered them.
     """
 
     status: str
@@ -38,6 +58,9 @@ class BmcResult:
     sat_calls: int = 0
     time_seconds: float = 0.0
     per_depth_times: Dict[int, float] = field(default_factory=dict)
+    clause_additions: int = 0
+    conflicts: int = 0
+    per_depth_clauses: Dict[int, int] = field(default_factory=dict)
 
     @property
     def is_failure(self) -> bool:
@@ -48,31 +71,93 @@ class BmcEngine:
     """Depth-by-depth bounded model checking."""
 
     def __init__(self, model: Model, check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
-                 validate_traces: bool = True) -> None:
+                 validate_traces: bool = True, incremental: bool = True) -> None:
         self.model = model
         self.check_kind = check_kind
         self.validate_traces = validate_traces
+        self.incremental = incremental
 
     def check_initial_states(self) -> Optional[Trace]:
         """Return a depth-0 counterexample when an initial state is already bad."""
+        trace, _ = self._initial_check()
+        return trace
+
+    def _initial_check(self) -> tuple:
+        """Depth-0 check on a throwaway solver; returns ``(trace, stats)``."""
         solver = CdclSolver()
         unroller = Unroller(self.model, solver)
         unroller.assert_initial_state(partition=1)
         unroller.assert_bad(0, partition=1)
         if self.model.constraints:
             unroller.assert_constraints_at(0, partition=1)
-        if solver.solve() is SatResult.SAT:
-            return unroller.extract_trace(0)
-        return None
+        answer = solver.solve()
+        trace = unroller.extract_trace(0) if answer is SatResult.SAT else None
+        return trace, solver.stats
 
     def run(self, max_depth: int, time_limit: Optional[float] = None,
             conflict_limit: Optional[int] = None) -> BmcResult:
         """Search for a counterexample of length at most ``max_depth``."""
+        if self.incremental:
+            return self._run_incremental(max_depth, time_limit, conflict_limit)
+        return self._run_monolithic(max_depth, time_limit, conflict_limit)
+
+    # ------------------------------------------------------------------ #
+    # Incremental mode: one persistent solver for the whole deepening run
+    # ------------------------------------------------------------------ #
+    def _run_incremental(self, max_depth: int, time_limit: Optional[float],
+                         conflict_limit: Optional[int]) -> BmcResult:
+        start = time.monotonic()
+        result = BmcResult(status="no_cex")
+        unroller = IncrementalUnroller(self.model, check_kind=self.check_kind)
+
+        for depth in range(max_depth + 1):
+            # Depth 0 (the initial-states check) runs unconditionally and
+            # unbudgeted, mirroring the fresh-solver mode.
+            remaining = None
+            depth_start = time.monotonic()
+            if depth > 0:
+                if time_limit is not None:
+                    remaining = time_limit - (time.monotonic() - start)
+                    if remaining <= 0:
+                        result.status = "unknown"
+                        result.checked_depth = depth - 1
+                        break
+                # Frame encoding is part of the depth's cost, matching the
+                # fresh-solver mode where build_check runs inside the timer.
+                unroller.extend()
+            budget = (Budget(max_conflicts=conflict_limit, max_time=remaining)
+                      if depth > 0 else None)
+            answer = unroller.solve(budget=budget)
+            result.sat_calls += 1
+            self._account(result, depth, unroller.last_call_stats)
+            result.per_depth_times[depth] = time.monotonic() - depth_start
+            if answer is SatResult.UNKNOWN:
+                result.status = "unknown"
+                result.checked_depth = depth - 1
+                break
+            if answer is SatResult.SAT:
+                trace = unroller.extract_trace()
+                self._validate(trace)
+                result.status = "fail"
+                result.depth = depth
+                result.trace = trace
+                result.checked_depth = depth
+                break
+            result.checked_depth = depth
+        result.time_seconds = time.monotonic() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Fresh-solver mode: the original monolithic re-encoding per depth
+    # ------------------------------------------------------------------ #
+    def _run_monolithic(self, max_depth: int, time_limit: Optional[float],
+                        conflict_limit: Optional[int]) -> BmcResult:
         start = time.monotonic()
         result = BmcResult(status="no_cex")
 
-        trace = self.check_initial_states()
+        trace, initial_stats = self._initial_check()
         result.sat_calls += 1
+        self._account(result, 0, initial_stats)
         if trace is not None:
             self._validate(trace)
             result.status = "fail"
@@ -87,6 +172,7 @@ class BmcEngine:
                 remaining = time_limit - (time.monotonic() - start)
                 if remaining <= 0:
                     result.status = "unknown"
+                    result.checked_depth = depth - 1
                     break
             depth_start = time.monotonic()
             unroller = build_check(self.check_kind, self.model, depth,
@@ -94,6 +180,7 @@ class BmcEngine:
             budget = Budget(max_conflicts=conflict_limit, max_time=remaining)
             answer = unroller.solver.solve(budget=budget)
             result.sat_calls += 1
+            self._account(result, depth, unroller.solver.stats)
             result.per_depth_times[depth] = time.monotonic() - depth_start
             if answer is SatResult.UNKNOWN:
                 result.status = "unknown"
@@ -110,6 +197,15 @@ class BmcEngine:
             result.checked_depth = depth
         result.time_seconds = time.monotonic() - start
         return result
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _account(result: BmcResult, depth: int, stats: SolverStats) -> None:
+        result.clause_additions += stats.clauses_added
+        result.conflicts += stats.conflicts
+        result.per_depth_clauses[depth] = stats.clauses_added
 
     def _validate(self, trace: Trace) -> None:
         if self.validate_traces and not trace.check(self.model):

@@ -1,0 +1,160 @@
+"""Incremental BMC: one persistent solver across all unrolling depths.
+
+The monolithic path (:mod:`repro.bmc.checks`) re-encodes the whole
+unrolling S₀ ∧ Tᵏ at every bound, so iterative deepening to depth ``k``
+performs O(k²) Tseitin/clause work and every solver starts from scratch —
+no learned clauses, no variable activities, no saved phases.  The
+:class:`IncrementalUnroller` keeps **one** solver for the whole deepening
+run, in the style of the MiniSAT incremental interface:
+
+* the initial-state constraint and each transition frame are asserted
+  *permanently*, one new frame per :meth:`extend` — O(k) total clause work;
+* the depth-specific target (the bad cone at the last frame, or the bad
+  disjunction for bound-mode checks) is asserted under a fresh
+  activation-literal clause group
+  (:meth:`~repro.sat.solver.CdclSolver.new_group`) and activated by
+  assumption, so :meth:`extend` can retract it with
+  :meth:`~repro.sat.solver.CdclSolver.release_group` before the next frame
+  is appended;
+* everything the solver learned while refuting depth ``k`` remains in force
+  at depth ``k + 1``.
+
+The three check formulations of :mod:`repro.bmc.checks` are supported and
+produce, at every depth, a formula *identical* to the monolithic builder's
+(modulo activation literals):
+
+* **exact-k** — only the target moves between depths;
+* **assume-k** — the ``p(Vⁱ)`` constraints for frames before the target are
+  permanent: once the unrolling extends past frame ``i``, ``p(Vⁱ)`` is part
+  of every deeper assume-check, exactly as in bmcᵏ_A;
+* **bound-k** — the bad-cone disjunction over frames 1..k is re-issued per
+  depth under the activation group (the cones themselves are cached by the
+  frame encoders, so only one clause is new).
+
+Proof logging is deliberately unsupported: resolution proofs must refute
+the monolithic formula (activation literals would appear in every derived
+clause and break interpolant extraction), which is why the engines keep
+their refutation path on fresh proof-logging solvers and use this class
+only for counterexample search.  See :mod:`repro.core.base`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..aig.model import Model
+from ..sat.solver import CdclSolver
+from ..sat.types import Budget, SatResult, SolverStats
+from .cex import Trace
+from .checks import BmcCheckKind
+from .unroll import Unroller
+
+__all__ = ["IncrementalUnroller"]
+
+
+class IncrementalUnroller:
+    """Iterative-deepening BMC on a single persistent solver.
+
+    The unroller starts armed at depth 0 (initial states + the depth-0
+    target group); :meth:`extend` advances one frame at a time.  The
+    intended driving loop is strict iterative deepening::
+
+        inc = IncrementalUnroller(model)
+        for depth in range(max_depth + 1):
+            if depth:
+                inc.extend()
+            if inc.solve() is SatResult.SAT:
+                return inc.extract_trace()
+
+    :meth:`extend` assumes the current depth has just been refuted (or was
+    skipped deliberately): in assume-mode it permanently asserts the
+    property at the frame being left behind, which is sound precisely
+    because iterative deepening visits depths in order.
+    """
+
+    def __init__(self, model: Model,
+                 check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
+                 solver: Optional[CdclSolver] = None) -> None:
+        if solver is None:
+            solver = CdclSolver(proof_logging=False)
+        if solver.proof_logging:
+            raise ValueError(
+                "incremental unrolling is incompatible with proof logging; "
+                "use repro.bmc.checks.build_check for refutation proofs")
+        self.model = model
+        self.check_kind = check_kind
+        self.solver = solver
+        self.unroller = Unroller(model, solver)
+        self.depth = 0
+        self._group: Optional[int] = None
+        self.unroller.assert_initial_state(partition=None)
+        if model.constraints:
+            self.unroller.assert_constraints_at(0, partition=None)
+        self._arm()
+
+    # ------------------------------------------------------------------ #
+    # Deepening
+    # ------------------------------------------------------------------ #
+    def _arm(self) -> None:
+        """Assert the depth-specific target under a fresh activation group."""
+        self._group = self.solver.new_group()
+        depth = self.depth
+        if self.check_kind is BmcCheckKind.BOUND and depth >= 1:
+            bad_lits = [self.unroller.bad_literal(frame, partition=None)
+                        for frame in range(1, depth + 1)]
+            self.solver.add_clause(bad_lits, group=self._group)
+        else:
+            # Exact/assume targets — and depth 0 for every kind — assert the
+            # bad cone at the last frame only.
+            self.solver.add_clause(
+                [self.unroller.bad_literal(depth, partition=None)],
+                group=self._group)
+
+    def extend(self) -> int:
+        """Retract the current target, append one transition frame, re-arm.
+
+        Returns the new depth.  Must only be called after the current depth
+        has been covered (refuted) — see the class docstring.
+        """
+        assert self._group is not None
+        self.solver.release_group(self._group)
+        if self.check_kind is BmcCheckKind.ASSUME and self.depth >= 1:
+            # The frame being left behind sits strictly before every future
+            # target: its p(Vⁱ) constraint is permanent under bmcᵏ_A.
+            self.unroller.assert_property(self.depth, partition=None)
+        self.unroller.add_transition(self.depth, partition=None,
+                                     include_constraints=False)
+        self.depth += 1
+        if self.model.constraints:
+            self.unroller.assert_constraints_at(self.depth, partition=None)
+        self._arm()
+        return self.depth
+
+    def extend_to(self, depth: int) -> int:
+        """Extend (without solving intermediate depths) up to ``depth``."""
+        while self.depth < depth:
+            self.extend()
+        return self.depth
+
+    # ------------------------------------------------------------------ #
+    # Solving and witness extraction
+    # ------------------------------------------------------------------ #
+    def assumptions(self) -> List[int]:
+        """The assumption literals activating the current depth's target."""
+        assert self._group is not None
+        return [self.solver.group_literal(self._group)]
+
+    def solve(self, assumptions: Sequence[int] = (),
+              budget: Optional[Budget] = None) -> SatResult:
+        """Check the current depth; extra ``assumptions`` are passed through."""
+        return self.solver.solve(
+            assumptions=self.assumptions() + list(assumptions), budget=budget)
+
+    def extract_trace(self) -> Trace:
+        """Build the counterexample trace after a SAT answer."""
+        return self.unroller.extract_trace(self.depth)
+
+    @property
+    def last_call_stats(self) -> SolverStats:
+        """Per-call counters of the most recent :meth:`solve`."""
+        return self.solver.last_call_stats

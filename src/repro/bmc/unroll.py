@@ -136,8 +136,14 @@ class Unroller:
             cnf_var = self.input_cnf_var(frame, input_var)
             self._add_clause([cnf_var if value else -cnf_var], partition)
 
-    def add_transition(self, from_frame: int, partition: int) -> None:
-        """Encode T(V^f, V^{f+1}) and the frame-f invariant constraints."""
+    def add_transition(self, from_frame: int, partition: Optional[int],
+                       include_constraints: bool = True) -> None:
+        """Encode T(V^f, V^{f+1}) and (optionally) the frame-f invariant constraints.
+
+        ``include_constraints=False`` is used by the incremental unroller,
+        which asserts each frame's constraints exactly once on arrival rather
+        than together with the outgoing transition.
+        """
         frame = self.frame(from_frame)
         next_frame = self.frame(from_frame + 1)
         for latch in self.model.latches:
@@ -145,9 +151,10 @@ class Unroller:
             latch_var_next = next_frame.latch_vars[latch.var]
             self._add_clause([-latch_var_next, next_lit], partition)
             self._add_clause([latch_var_next, -next_lit], partition)
-        for constraint in self.model.constraints:
-            lit = self._encode(from_frame, constraint, partition)
-            self._add_clause([lit], partition)
+        if include_constraints:
+            for constraint in self.model.constraints:
+                lit = self._encode(from_frame, constraint, partition)
+                self._add_clause([lit], partition)
         _ = frame
 
     def bad_literal(self, frame: int, partition: int) -> int:

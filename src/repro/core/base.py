@@ -7,8 +7,29 @@ sequences, sequences + CBA) share:
   materialised (so a run never mutates the caller's circuit);
 * the initial-state predicate S₀ as an AIG cone over latch variables;
 * SAT-based implication / containment checks between AIG predicates;
+* a shared *incremental counterexample search*
+  (:meth:`UmcEngine._search_counterexample`): one persistent
+  :class:`~repro.bmc.incremental.IncrementalUnroller` per engine run that
+  extends frame by frame with the outer bound and carries learned clauses,
+  activities and phases across bounds;
 * resource accounting (wall-clock budget → *overflow*, per-call conflict
   budgets) and the uniform :class:`VerificationResult` packaging.
+
+Why the refutation path stays on fresh solvers
+----------------------------------------------
+Interpolant extraction needs a resolution refutation of the *monolithic*
+partition-labelled formula S₀ ∧ Tᵏ ∧ B.  The incremental solver cannot
+provide one: its depth-specific constraints live under activation literals
+that are only *assumed*, so every clause learned from them (and any
+"refutation") carries the activation literal and does not refute the
+caller's formula; worse, clauses learned at earlier bounds would enter the
+proof as axioms with no Γ-partition label, breaking the (A, B) cut.  The
+engines therefore split the work: the **SAT-or-UNSAT question** at each
+bound is answered by the cheap incremental search (which also yields the
+counterexample trace on SAT), and only then is the **proof-logged** check
+built on a fresh solver — its answer is already known to be UNSAT, the
+solve is purely to obtain the labelled refutation that interpolation
+consumes.
 """
 
 from __future__ import annotations
@@ -20,6 +41,7 @@ from ..aig.aig import Aig, lit_negate
 from ..aig.model import Model
 from ..aig.ops import cone_size
 from ..bmc.cex import Trace
+from ..bmc.incremental import IncrementalUnroller
 from ..cnf.tseitin import TseitinEncoder
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SatResult
@@ -89,6 +111,8 @@ class UmcEngine:
         self.stats = EngineStats()
         self._start_time = 0.0
         self._current_bound: Optional[int] = None
+        #: Persistent (proof-free) incremental BMC search over self.model.
+        self._cex_searcher: Optional[IncrementalUnroller] = None
 
     # ------------------------------------------------------------------ #
     # Resource handling
@@ -117,6 +141,11 @@ class UmcEngine:
         result = solver.solve(assumptions=list(assumptions), budget=self._sat_budget())
         self.stats.sat_calls += 1
         self.stats.sat_time += time.monotonic() - started
+        call = solver.last_call_stats
+        self.stats.clauses_added += call.clauses_added
+        self.stats.conflicts += call.conflicts
+        self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
+                                            call.conflicts)
         if result is SatResult.UNKNOWN:
             raise OutOfBudget(self._current_bound)
         return result
@@ -140,22 +169,57 @@ class UmcEngine:
         self.stats.itp_nodes += cone_size(aig, itp_lit)
 
     # ------------------------------------------------------------------ #
+    # Incremental counterexample search (shared by every engine)
+    # ------------------------------------------------------------------ #
+    def _cex_search_unroller(self) -> IncrementalUnroller:
+        """The engine's persistent, proof-free BMC search over ``self.model``."""
+        if self._cex_searcher is None:
+            self._cex_searcher = IncrementalUnroller(
+                self.model, check_kind=self.options.bmc_check)
+        return self._cex_searcher
+
+    def _search_counterexample(self, bound: int) -> Optional[Trace]:
+        """Look for a counterexample at ``bound`` on the persistent solver.
+
+        Returns the trace on SAT, ``None`` on UNSAT.  Engines call this once
+        per outer bound *before* building the proof-logged check: on UNSAT
+        the refutation check is guaranteed UNSAT as well (the incremental
+        formula is the monolithic one modulo activation literals), so the
+        expensive proof-logged solve never has to hunt for a model.
+
+        With ``options.incremental_cex_search`` disabled this is a no-op
+        (``None``) and the proof-logged check answers SAT-or-UNSAT itself,
+        as the seed implementation did.
+        """
+        if not self.options.incremental_cex_search:
+            return None
+        searcher = self._cex_search_unroller()
+        searcher.extend_to(bound)
+        if self._solve(searcher.solver, searcher.assumptions()) is SatResult.SAT:
+            return searcher.extract_trace()
+        return None
+
+    # ------------------------------------------------------------------ #
     # Depth-0 check
     # ------------------------------------------------------------------ #
-    def _depth_zero_trace(self, model: Optional[Model] = None) -> Optional[Trace]:
+    def _depth_zero_trace(self) -> Optional[Trace]:
         """Return a depth-0 counterexample if an initial state violates p.
 
         The paper's algorithms start from k = 1, so every engine performs
-        this check once up front.
+        this check once up front; it also seeds the persistent incremental
+        searcher (unless incremental search is disabled, in which case a
+        throwaway solver is used).
         """
+        if self.options.incremental_cex_search:
+            return self._search_counterexample(0)
+
         from ..bmc.unroll import Unroller  # local import avoids a cycle
 
-        target = model or self.model
         solver = CdclSolver()
-        unroller = Unroller(target, solver)
+        unroller = Unroller(self.model, solver)
         unroller.assert_initial_state(partition=1)
         unroller.assert_bad(0, partition=1)
-        if target.constraints:
+        if self.model.constraints:
             unroller.assert_constraints_at(0, partition=1)
         if self._solve(solver) is SatResult.SAT:
             return unroller.extract_trace(0)
@@ -168,6 +232,7 @@ class UmcEngine:
         """Execute the engine and return a :class:`VerificationResult`."""
         self._start_time = time.monotonic()
         self.stats = EngineStats()
+        self._cex_searcher = None
         try:
             result = self._run()
         except OutOfBudget as exc:

@@ -27,7 +27,8 @@ from ..abstraction.cba import choose_refinement, extend_counterexample
 from ..abstraction.localization import LocalizationAbstraction, property_support_latches
 from ..aig.aig import FALSE, TRUE, lit_from_var
 from ..aig.ops import LiteralMapper
-from ..bmc.checks import build_check
+from ..bmc.checks import BmcCheckKind, build_check
+from ..bmc.incremental import IncrementalUnroller
 from ..sat.types import SatResult
 from .base import OutOfBudget, initial_states_predicate
 from .itpseq_engine import ItpSeqEngine
@@ -43,6 +44,13 @@ class ItpSeqCbaEngine(ItpSeqEngine):
     name = "itpseqcba"
 
     def _run(self) -> VerificationResult:
+        # Persistent incremental searchers: one on the current abstract model
+        # (rebuilt whenever a refinement changes the model) and one exact-mode
+        # unroller on the concrete model shared by every EXTEND query.
+        self._abstract_searcher: Optional[IncrementalUnroller] = None
+        self._abstract_searcher_key: Optional[LocalizationAbstraction] = None
+        self._extend_searcher: Optional[IncrementalUnroller] = None
+
         trace = self._depth_zero_trace()
         if trace is not None:
             return self._fail(0, trace)
@@ -81,24 +89,65 @@ class ItpSeqCbaEngine(ItpSeqEngine):
     # ------------------------------------------------------------------ #
     # Abstraction-refinement loop for one bound
     # ------------------------------------------------------------------ #
+    def _abstract_search(self, abstraction: LocalizationAbstraction
+                         ) -> IncrementalUnroller:
+        """Persistent incremental BMC search over the current abstract model.
+
+        Refinement replaces the abstract model, so the searcher is rebuilt
+        whenever the abstraction object changes; within one abstraction it
+        carries learned clauses across spurious-counterexample iterations
+        and across bounds (the paper never re-proves smaller bounds after a
+        refinement, so deepening stays strictly monotonic).
+        """
+        if self._abstract_searcher_key is not abstraction:
+            self._abstract_searcher = IncrementalUnroller(
+                abstraction.abstract_model, check_kind=self.options.bmc_check)
+            self._abstract_searcher_key = abstraction
+        return self._abstract_searcher
+
+    def _extend_search(self) -> IncrementalUnroller:
+        """The exact-mode concrete unroller shared by every EXTEND query."""
+        if self._extend_searcher is None:
+            self._extend_searcher = IncrementalUnroller(
+                self.model, check_kind=BmcCheckKind.EXACT)
+        return self._extend_searcher
+
     def _refinement_loop(self, abstraction: LocalizationAbstraction, k: int):
         """Iterate abstract check / EXTEND / REFINE until the bound-k abstract
         instance is unsatisfiable (returning the refutation) or a concrete
-        counterexample is found (returning a FAIL result)."""
+        counterexample is found (returning a FAIL result).
+
+        The SAT-or-UNSAT question is answered on the persistent incremental
+        searcher; the proof-logged fresh-solver check is only built once the
+        abstract instance is known UNSAT, purely to record the refutation the
+        serial sequence extraction needs (see repro.core.base).
+        """
+        incremental = self.options.incremental_cex_search
         while True:
             self._check_budget()
             abstract_model = abstraction.abstract_model
-            unroller = build_check(self.options.bmc_check, abstract_model, k,
-                                   proof_logging=True)
-            result = self._solve(unroller.solver)
-            if result is SatResult.UNSAT:
-                return abstraction, unroller.solver.proof(), unroller
-
-            abstract_trace = unroller.extract_trace(k)
+            abstract_trace = None
+            if incremental:
+                searcher = self._abstract_search(abstraction)
+                searcher.extend_to(k)
+                if self._solve(searcher.solver, searcher.assumptions()) \
+                        is SatResult.SAT:
+                    abstract_trace = searcher.extract_trace()
+            if abstract_trace is None:
+                unroller = build_check(self.options.bmc_check, abstract_model, k,
+                                       proof_logging=True)
+                result = self._solve(unroller.solver)
+                if result is SatResult.UNSAT:
+                    return abstraction, unroller.solver.proof(), unroller
+                if incremental:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "incremental and monolithic abstract checks disagree")
+                abstract_trace = unroller.extract_trace(k)
             self.stats.sat_calls += 1
-            extension = extend_counterexample(self.model, abstraction,
-                                              abstract_trace, k,
-                                              budget=self._sat_budget())
+            extension = extend_counterexample(
+                self.model, abstraction, abstract_trace, k,
+                budget=self._sat_budget(),
+                searcher=self._extend_search() if incremental else None)
             if extension.is_real:
                 return self._fail(k, extension.concrete_trace)
             if abstraction.is_total():

@@ -59,7 +59,18 @@ class ItpEngine(UmcEngine):
 
         Returns a result to report, or ``None`` to continue with ``k + 1``.
         """
-        # First check: A = S0 ∧ T  — a SAT answer is a real counterexample.
+        # Counterexample search runs on the persistent incremental solver:
+        # a SAT answer there is a real counterexample at exactly this bound
+        # (shallower depths were refuted at earlier iterations).
+        trace = self._search_counterexample(k)
+        if trace is not None:
+            return self._fail(k, trace)
+
+        # Build the proof-logged bound-k check on a fresh solver.  After an
+        # UNSAT incremental search the solve is guaranteed UNSAT and runs
+        # only to record the labelled refutation interpolation needs (see
+        # repro.core.base); with incremental search disabled it also answers
+        # the SAT-or-UNSAT question.
         unroller = self._build_check(k, init_formula=None)
         if self._solve(unroller.solver) is SatResult.SAT:
             depth = self._failure_depth(unroller, k)

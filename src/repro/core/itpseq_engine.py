@@ -47,6 +47,13 @@ class ItpSeqEngine(UmcEngine):
             self._current_bound = k
             self._check_budget()
 
+            # Counterexample search on the persistent incremental solver;
+            # after an UNSAT answer the fresh proof-logged solve below is
+            # guaranteed UNSAT and exists to record the refutation.
+            trace = self._search_counterexample(k)
+            if trace is not None:
+                return self._fail(k, trace)
+
             unroller = build_check(self.options.bmc_check, self.model, k,
                                    proof_logging=True)
             if self._solve(unroller.solver) is SatResult.SAT:

@@ -37,6 +37,13 @@ class EngineOptions:
         uses bound-k checks as required for its correctness.
     itp_system:
         Interpolation system: ``"mcmillan"`` or ``"pudlak"``.
+    incremental_cex_search:
+        Run each bound's counterexample search on a persistent incremental
+        solver before the proof-logged check (the default).  Failures are
+        then found without ever paying for proof logging, at the price of
+        one extra — usually cheap — UNSAT confirmation per bound on
+        property-passing instances; disable to restore the seed behaviour
+        where the proof-logged check answers SAT-or-UNSAT by itself.
     alpha_s:
         Serialisation ratio for serial interpolation sequences (Fig. 4).
     validate_traces:
@@ -54,6 +61,7 @@ class EngineOptions:
     conflict_limit: Optional[int] = None
     bmc_check: BmcCheckKind = BmcCheckKind.ASSUME
     itp_system: str = "mcmillan"
+    incremental_cex_search: bool = True
     alpha_s: float = 0.5
     validate_traces: bool = True
     cba_initial_visible: str = "property"

@@ -33,7 +33,14 @@ class Verdict(enum.Enum):
 
 @dataclass
 class EngineStats:
-    """Aggregate counters accumulated during a run."""
+    """Aggregate counters accumulated during a run.
+
+    ``clauses_added`` and ``conflicts`` are *cumulative* across every SAT
+    call routed through the engine's accounting (the incremental
+    counterexample search plus the proof-logged refutation checks);
+    ``max_call_conflicts`` is the *per-call* peak, so Fig. 6/7 records can
+    report both the total solver work and the hardest single query.
+    """
 
     sat_calls: int = 0
     sat_time: float = 0.0
@@ -42,6 +49,9 @@ class EngineStats:
     refinements: int = 0
     abstract_latches: int = 0
     containment_checks: int = 0
+    clauses_added: int = 0
+    conflicts: int = 0
+    max_call_conflicts: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -52,6 +62,9 @@ class EngineStats:
             "refinements": self.refinements,
             "abstract_latches": self.abstract_latches,
             "containment_checks": self.containment_checks,
+            "clauses_added": self.clauses_added,
+            "conflicts": self.conflicts,
+            "max_call_conflicts": self.max_call_conflicts,
         }
 
 

@@ -151,6 +151,12 @@ class SerialItpSeqEngine(ItpSeqEngine):
             self._current_bound = k
             self._check_budget()
 
+            # Incremental counterexample search first; after its UNSAT the
+            # proof-logged check only runs to record the refutation (base.py).
+            trace = self._search_counterexample(k)
+            if trace is not None:
+                return self._fail(k, trace)
+
             unroller = build_check(self.options.bmc_check, self.model, k,
                                    proof_logging=True)
             if self._solve(unroller.solver) is SatResult.SAT:

@@ -14,7 +14,13 @@ __all__ = ["EngineRecord", "InstanceRecord"]
 
 @dataclass
 class EngineRecord:
-    """One engine's outcome on one instance (one Table I cell group)."""
+    """One engine's outcome on one instance (one Table I cell group).
+
+    ``clauses_added`` / ``conflicts`` are cumulative over the whole run;
+    ``max_call_conflicts`` is the per-call peak — both views of the solver
+    work are recorded so the Fig. 6/7 artefacts can relate runtimes to the
+    incremental-vs-monolithic encoding effort.
+    """
 
     engine: str
     verdict: str
@@ -24,6 +30,9 @@ class EngineRecord:
     sat_calls: int = 0
     itp_nodes: int = 0
     refinements: int = 0
+    clauses_added: int = 0
+    conflicts: int = 0
+    max_call_conflicts: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -36,6 +45,9 @@ class EngineRecord:
             sat_calls=result.stats.sat_calls,
             itp_nodes=result.stats.itp_nodes,
             refinements=result.stats.refinements,
+            clauses_added=result.stats.clauses_added,
+            conflicts=result.stats.conflicts,
+            max_call_conflicts=result.stats.max_call_conflicts,
         )
 
     @property
@@ -52,6 +64,9 @@ class EngineRecord:
             "sat_calls": self.sat_calls,
             "itp_nodes": self.itp_nodes,
             "refinements": self.refinements,
+            "clauses_added": self.clauses_added,
+            "conflicts": self.conflicts,
+            "max_call_conflicts": self.max_call_conflicts,
         }
 
 
@@ -98,4 +113,6 @@ class InstanceRecord:
             row[f"{engine}_verdict"] = record.verdict
             row[f"{engine}_k_fp"] = record.k_fp
             row[f"{engine}_j_fp"] = record.j_fp
+            row[f"{engine}_clauses"] = record.clauses_added
+            row[f"{engine}_max_call_conflicts"] = record.max_call_conflicts
         return row

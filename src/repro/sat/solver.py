@@ -10,8 +10,18 @@ scratch.  It implements the standard modern CDCL loop:
 * Luby restarts;
 * learned-clause database reduction driven by clause activities;
 * solving under assumptions (MiniSAT-style) for incremental queries;
+* a first-class *incremental* interface: clauses may be added between
+  :meth:`~CdclSolver.solve` calls (watches are repaired against the current
+  level-0 assignment on the fly), learned clauses, VSIDS activities and
+  saved phases all survive across calls, activation-literal clause groups
+  (:meth:`~CdclSolver.new_group` / :meth:`~CdclSolver.release_group`) allow
+  retractable constraints, and every call leaves a per-call
+  :class:`~repro.sat.types.SolverStats` snapshot in
+  :attr:`~CdclSolver.last_call_stats`;
 * optional *resolution proof recording* (:class:`~repro.sat.proof.ResolutionProof`),
-  the feature interpolation requires.
+  the feature interpolation requires.  Proof logging is incompatible with
+  clause groups: a recorded refutation must be over the monolithic formula,
+  activation literals would leak into every derived clause.
 
 Performance note: a pure-Python CDCL is roughly two to three orders of
 magnitude slower than MiniSAT.  The engines therefore run on down-scaled
@@ -101,6 +111,13 @@ class CdclSolver:
         self._conflict_assumptions: Optional[List[int]] = None
         self._last_result: Optional[SatResult] = None
 
+        #: Clause groups: activation variable -> clause records of the group.
+        self._groups: Dict[int, List[_ClauseRec]] = {}
+        #: Counters attributable to the most recent :meth:`solve` call
+        #: (including any clauses added since the preceding call ended).
+        self.last_call_stats = SolverStats()
+        self._stats_mark = SolverStats()
+
     # ------------------------------------------------------------------ #
     # Problem construction
     # ------------------------------------------------------------------ #
@@ -131,13 +148,22 @@ class CdclSolver:
         return sum(1 for c in self._clauses if not c.deleted and not c.learned)
 
     def add_clause(self, literals: Iterable[int],
-                   partition: Optional[int] = None) -> Optional[int]:
+                   partition: Optional[int] = None,
+                   group: Optional[int] = None) -> Optional[int]:
         """Add an input clause; return its proof clause id (or ``None``).
 
         ``partition`` tags the clause for interpolation (which member of the
         ``Gamma`` partition / which side of the (A, B) cut it belongs to).
         Clauses may be added only before :meth:`solve` is first called or
-        between calls at decision level 0.
+        between calls at decision level 0 — the watch positions are chosen
+        against the current level-0 assignment, so clauses arriving already
+        unit or conflicting are handled correctly.
+
+        ``group`` attaches the clause to an activation-literal group from
+        :meth:`new_group`: the group's negated activation literal is appended,
+        so the clause only constrains solves that assume the activation
+        literal, and the whole group can later be retracted with
+        :meth:`release_group`.
         """
         if self._trail_lim:
             raise SolverError("clauses may only be added at decision level 0")
@@ -146,6 +172,12 @@ class CdclSolver:
             if lit == 0:
                 raise SolverError("0 is not a valid literal")
             self.ensure_var(abs(lit))
+        if group is not None:
+            if group not in self._groups:
+                raise SolverError(f"unknown or released clause group {group}")
+            if -group not in lits:
+                lits.append(-group)
+        self.stats.clauses_added += 1
         cid = self._next_cid
         self._next_cid += 1
         if self._proof is not None:
@@ -156,6 +188,8 @@ class CdclSolver:
             return cid
 
         rec = _ClauseRec(cid, lits, learned=False)
+        if group is not None:
+            self._groups[group].append(rec)
         if not lits:
             self._clauses.append(rec)
             self._ok = False
@@ -203,6 +237,47 @@ class CdclSolver:
         return [self.add_clause(c, partition) for c in clauses]
 
     # ------------------------------------------------------------------ #
+    # Activation-literal clause groups (incremental retraction)
+    # ------------------------------------------------------------------ #
+    def new_group(self) -> int:
+        """Open a clause group; returns its handle (the activation literal).
+
+        Clauses added with ``group=handle`` get ``-handle`` appended, so they
+        only bind when :meth:`solve` is passed ``handle`` among its
+        assumptions (see :meth:`group_literal`).  Incompatible with proof
+        logging: activation literals would appear in every derived clause and
+        the recorded "refutation" would not refute the caller's formula.
+        """
+        if self.proof_logging:
+            raise SolverError("clause groups are incompatible with proof logging")
+        var = self.new_var()
+        self._groups[var] = []
+        return var
+
+    def group_literal(self, group: int) -> int:
+        """The assumption literal that activates a group's clauses."""
+        if group not in self._groups:
+            raise SolverError(f"unknown or released clause group {group}")
+        return group
+
+    def release_group(self, group: int) -> None:
+        """Permanently retract a group's clauses.
+
+        The activation literal is asserted false (satisfying, and thereby
+        neutralising, every clause of the group as well as any learned clause
+        derived from them) and the group's input clauses are dropped from the
+        watch lists.
+        """
+        if self._trail_lim:
+            raise SolverError("groups may only be released at decision level 0")
+        recs = self._groups.pop(group, None)
+        if recs is None:
+            raise SolverError(f"unknown or released clause group {group}")
+        for rec in recs:
+            rec.deleted = True
+        self.add_clause([-group])
+
+    # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
     def solve(self, assumptions: Sequence[int] = (),
@@ -215,7 +290,22 @@ class CdclSolver:
         assumptions, :meth:`conflict_assumptions` returns the subset of
         assumptions responsible.  After UNSAT without assumptions and with
         proof logging enabled, :meth:`proof` returns a refutation.
+
+        The call may be repeated: the clause database (including learned
+        clauses), variable activities and saved phases persist, which is what
+        makes incremental BMC deepening profitable.  After every call,
+        :attr:`last_call_stats` holds the counter deltas attributable to it
+        (clauses encoded since the previous call included).
         """
+        try:
+            return self._solve_main(assumptions, budget)
+        finally:
+            self.stats.solve_calls += 1
+            self.last_call_stats = self.stats.diff(self._stats_mark)
+            self._stats_mark = self.stats.copy()
+
+    def _solve_main(self, assumptions: Sequence[int],
+                    budget: Optional[Budget]) -> SatResult:
         self._model = None
         self._conflict_assumptions = None
         budget = budget or Budget()
@@ -281,6 +371,9 @@ class CdclSolver:
                 start_time: float) -> SatResult:
         restart_count = 0
         conflicts_until_restart = self._luby(restart_count) * 100
+        # Budgets are per call: on a persistent (incremental) solver the
+        # lifetime counter keeps growing, so the limit applies to the delta.
+        conflict_base = self.stats.conflicts
 
         while True:
             conflict = self._propagate()
@@ -296,7 +389,7 @@ class CdclSolver:
                 self._decay_activities()
 
                 if budget.max_conflicts is not None and \
-                        self.stats.conflicts >= budget.max_conflicts:
+                        self.stats.conflicts - conflict_base >= budget.max_conflicts:
                     raise BudgetExceeded()
                 if budget.max_time is not None and \
                         time.monotonic() - start_time > budget.max_time:
@@ -339,12 +432,17 @@ class CdclSolver:
 
     def _propagate(self) -> Optional[_ClauseRec]:
         """Unit propagation; return the conflicting clause or ``None``."""
+        # _lit_index is inlined throughout this method: the watch-list lookups
+        # sit on the hottest path of the whole system and the function-call
+        # overhead is measurable (see benchmarks/test_bench_incremental.py).
+        watches = self._watches
         while self._queue_head < len(self._trail):
             lit = self._trail[self._queue_head]
             self._queue_head += 1
             self.stats.propagations += 1
             false_lit = -lit
-            watch_list = self._watches[_lit_index(false_lit)]
+            false_idx = (abs(false_lit) << 1) | (false_lit < 0)
+            watch_list = watches[false_idx]
             new_watch_list: List[_ClauseRec] = []
             conflict: Optional[_ClauseRec] = None
             i = 0
@@ -366,7 +464,8 @@ class CdclSolver:
                 for k in range(2, len(lits)):
                     if self._value(lits[k]) != 0:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[_lit_index(lits[1])].append(rec)
+                        new_watch = lits[1]
+                        watches[(abs(new_watch) << 1) | (new_watch < 0)].append(rec)
                         found = True
                         break
                 if found:
@@ -381,7 +480,7 @@ class CdclSolver:
                     self._queue_head = len(self._trail)
                     break
                 self._enqueue(other, rec)
-            self._watches[_lit_index(false_lit)] = new_watch_list
+            watches[false_idx] = new_watch_list
             if conflict is not None:
                 return conflict
         return None

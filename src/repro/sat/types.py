@@ -22,7 +22,14 @@ class SatResult(enum.Enum):
 
 @dataclass
 class SolverStats:
-    """Counters accumulated by a solver instance."""
+    """Counters accumulated by a solver instance.
+
+    ``clauses_added`` counts input (non-learned) clause additions and
+    ``solve_calls`` the number of :meth:`~repro.sat.solver.CdclSolver.solve`
+    invocations; together with :meth:`diff` they let incremental callers
+    attribute work to individual queries
+    (:attr:`~repro.sat.solver.CdclSolver.last_call_stats`).
+    """
 
     decisions: int = 0
     propagations: int = 0
@@ -33,6 +40,8 @@ class SolverStats:
     max_decision_level: int = 0
     db_reductions: int = 0
     removed_clauses: int = 0
+    clauses_added: int = 0
+    solve_calls: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -45,7 +54,32 @@ class SolverStats:
             "max_decision_level": self.max_decision_level,
             "db_reductions": self.db_reductions,
             "removed_clauses": self.removed_clauses,
+            "clauses_added": self.clauses_added,
+            "solve_calls": self.solve_calls,
         }
+
+    def copy(self) -> "SolverStats":
+        return SolverStats(**self.as_dict())
+
+    def diff(self, earlier: "SolverStats") -> "SolverStats":
+        """Counters accumulated since ``earlier`` (a per-call snapshot).
+
+        ``max_decision_level`` is a high-water mark, not a counter, so the
+        current value is reported unchanged.
+        """
+        return SolverStats(
+            decisions=self.decisions - earlier.decisions,
+            propagations=self.propagations - earlier.propagations,
+            conflicts=self.conflicts - earlier.conflicts,
+            learned_clauses=self.learned_clauses - earlier.learned_clauses,
+            learned_literals=self.learned_literals - earlier.learned_literals,
+            restarts=self.restarts - earlier.restarts,
+            max_decision_level=self.max_decision_level,
+            db_reductions=self.db_reductions - earlier.db_reductions,
+            removed_clauses=self.removed_clauses - earlier.removed_clauses,
+            clauses_added=self.clauses_added - earlier.clauses_added,
+            solve_calls=self.solve_calls - earlier.solve_calls,
+        )
 
 
 class BudgetExceeded(RuntimeError):

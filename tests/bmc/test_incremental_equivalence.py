@@ -1,0 +1,93 @@
+"""Incremental vs. fresh-solver BMC equivalence over the whole circuit suite.
+
+The incremental unroller must be a pure optimisation: for every instance of
+:mod:`repro.circuits.suite` (both blocks), both modes must report the same
+verdict, the same failure depth and traces that replay on the concrete
+model.  Clause-addition totals must also never grow — the asymptotic
+O(k²) → O(k) claim itself is benchmarked in
+``benchmarks/test_bench_incremental.py``.
+"""
+
+import pytest
+
+from repro.bmc import BmcCheckKind, BmcEngine
+from repro.circuits.suite import full_suite
+
+# Deep enough to reach every academic/industrial failure depth in the suite
+# while keeping the fresh-solver (quadratic) reference runs affordable.
+_PASS_DEPTH = 4
+
+
+def _max_depth(instance):
+    if instance.expected == "fail" and instance.expected_depth is not None:
+        return instance.expected_depth
+    return _PASS_DEPTH
+
+
+@pytest.mark.parametrize("instance", full_suite(), ids=lambda inst: inst.name)
+def test_incremental_matches_fresh_solver(instance):
+    model = instance.build()
+    depth = _max_depth(instance)
+    fresh = BmcEngine(model, incremental=False).run(max_depth=depth)
+    incremental = BmcEngine(model, incremental=True).run(max_depth=depth)
+
+    assert incremental.status == fresh.status
+    assert incremental.depth == fresh.depth
+    assert incremental.checked_depth == fresh.checked_depth
+    if instance.expected == "fail":
+        assert incremental.status == "fail"
+        assert incremental.depth == instance.expected_depth
+        assert incremental.trace is not None and incremental.trace.check(model)
+        assert fresh.trace is not None and fresh.trace.check(model)
+    else:
+        assert incremental.status == "no_cex"
+        assert incremental.checked_depth == depth
+    # Reuse must never add encoding work.
+    assert incremental.clause_additions <= fresh.clause_additions
+
+
+@pytest.mark.parametrize("kind", list(BmcCheckKind), ids=lambda k: k.value)
+@pytest.mark.parametrize("name", ["cnt08", "queue02bug", "ring04", "mutexbug"])
+def test_equivalence_holds_for_every_check_kind(name, kind):
+    instance = next(inst for inst in full_suite() if inst.name == name)
+    model = instance.build()
+    depth = _max_depth(instance)
+    fresh = BmcEngine(model, check_kind=kind, incremental=False).run(max_depth=depth)
+    incremental = BmcEngine(model, check_kind=kind,
+                            incremental=True).run(max_depth=depth)
+    assert incremental.status == fresh.status
+    assert incremental.depth == fresh.depth
+    if incremental.trace is not None:
+        assert incremental.trace.check(model)
+
+
+def test_conflict_limit_applies_per_depth_in_incremental_mode():
+    """Regression: the per-call conflict budget must not be charged for
+    conflicts accumulated at earlier depths on the persistent solver."""
+    instance = next(inst for inst in full_suite() if inst.name == "ring04")
+    model = instance.build()
+    generous = 500  # far above any single depth's need on this instance
+    inc = BmcEngine(model, incremental=True).run(max_depth=8,
+                                                 conflict_limit=generous)
+    mono = BmcEngine(model, incremental=False).run(max_depth=8,
+                                                   conflict_limit=generous)
+    assert inc.status == mono.status == "no_cex"
+    assert inc.checked_depth == mono.checked_depth == 8
+
+
+def test_unknown_time_limit_sets_checked_depth():
+    """Regression: the time-limit break path must report the last refuted depth.
+
+    Before the fix, ``checked_depth`` was left at its stale previous value
+    (0 by default) when the loop exited through the ``remaining <= 0``
+    branch; with an expired budget only depth 0 has actually been checked.
+    """
+    instance = next(inst for inst in full_suite() if inst.name == "ring04")
+    model = instance.build()
+    for incremental in (False, True):
+        engine = BmcEngine(model, incremental=incremental)
+        result = engine.run(max_depth=50, time_limit=1e-9)
+        assert result.status == "unknown"
+        # The unbudgeted depth-0 check ran; nothing deeper was attempted.
+        assert result.checked_depth == 0
+        assert result.sat_calls == 1

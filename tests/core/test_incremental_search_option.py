@@ -1,0 +1,32 @@
+"""The incremental counterexample search must be a pure optimisation: with
+``incremental_cex_search`` disabled every engine falls back to the seed
+behaviour (the proof-logged check answers SAT-or-UNSAT itself) and the
+verdicts and depth measures must not change."""
+
+import pytest
+
+from repro.circuits import get_instance
+from repro.core import EngineOptions, run_engine
+
+CASES = [
+    ("ring04", "pass"),
+    ("mutexbug", "fail"),
+    ("cnt08", "fail"),
+    ("modcnt06", "pass"),
+]
+
+
+@pytest.mark.parametrize("engine", ["itp", "itpseq", "sitpseq", "itpseqcba"])
+@pytest.mark.parametrize("name,expected", CASES)
+def test_verdicts_identical_with_and_without_incremental_search(engine, name,
+                                                                expected):
+    results = {}
+    for incremental in (True, False):
+        options = EngineOptions(max_bound=12,
+                                incremental_cex_search=incremental)
+        results[incremental] = run_engine(engine, get_instance(name).build(),
+                                          options)
+    assert results[True].verdict.value == expected
+    assert results[False].verdict.value == expected
+    assert results[True].k_fp == results[False].k_fp
+    assert results[True].j_fp == results[False].j_fp

@@ -1,0 +1,186 @@
+"""Unit tests for the incremental CdclSolver API: clause additions between
+solve calls, activation-literal clause groups, state persistence and the
+per-call statistics snapshots."""
+
+import pytest
+
+from repro.sat import CdclSolver, SatResult, SolverError
+
+
+def test_add_clause_after_solve_and_resolve():
+    solver = CdclSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    assert solver.solve() is SatResult.SAT
+    # Constrain further, between calls, at level 0.
+    solver.add_clause([-a])
+    assert solver.solve() is SatResult.SAT
+    assert solver.model_value(b)
+    solver.add_clause([-b])
+    assert solver.solve() is SatResult.UNSAT
+
+
+def test_clause_added_after_solve_arrives_unit_under_level0_assignment():
+    solver = CdclSolver()
+    a, b, c = solver.new_var(), solver.new_var(), solver.new_var()
+    solver.add_clause([a])            # level-0 unit
+    assert solver.solve() is SatResult.SAT
+    # [-a, b, c] is already effectively binary under the level-0 assignment;
+    # the watch-repair logic must not watch the false literal -a blindly.
+    solver.add_clause([-a, b])
+    solver.add_clause([-b, c])
+    assert solver.solve() is SatResult.SAT
+    assert solver.model_value(c)
+    solver.add_clause([-c])
+    assert solver.solve() is SatResult.UNSAT
+
+
+def test_groups_activate_only_under_assumption():
+    solver = CdclSolver()
+    x = solver.new_var()
+    group = solver.new_group()
+    solver.add_clause([x], group=group)
+    solver.add_clause([-x])
+    # Without the activation literal the group clause does not bind.
+    assert solver.solve() is SatResult.SAT
+    # With it the two units clash.
+    assert solver.solve(assumptions=[solver.group_literal(group)]) \
+        is SatResult.UNSAT
+    # The contradiction is charged to the assumption, not the formula:
+    # dropping the activation literal makes the instance satisfiable again.
+    assert solver.solve() is SatResult.SAT
+
+
+def test_release_group_retracts_clauses_permanently():
+    solver = CdclSolver()
+    x = solver.new_var()
+    group = solver.new_group()
+    solver.add_clause([x], group=group)
+    solver.add_clause([-x])
+    solver.release_group(group)
+    assert solver.solve() is SatResult.SAT
+    assert not solver.model_value(x)
+    with pytest.raises(SolverError):
+        solver.group_literal(group)
+    with pytest.raises(SolverError):
+        solver.release_group(group)
+    with pytest.raises(SolverError):
+        solver.add_clause([x], group=group)
+
+
+def test_sequential_groups_mimic_bmc_deepening():
+    """Retract one depth's target, arm the next — verdicts stay independent."""
+    solver = CdclSolver()
+    x, y = solver.new_var(), solver.new_var()
+    solver.add_clause([x, y])
+    g1 = solver.new_group()
+    solver.add_clause([-x], group=g1)
+    solver.add_clause([-y], group=g1)
+    assert solver.solve(assumptions=[solver.group_literal(g1)]) is SatResult.UNSAT
+    solver.release_group(g1)
+    g2 = solver.new_group()
+    solver.add_clause([-x], group=g2)
+    assert solver.solve(assumptions=[solver.group_literal(g2)]) is SatResult.SAT
+    assert solver.model_value(y)
+
+
+def test_groups_incompatible_with_proof_logging():
+    solver = CdclSolver(proof_logging=True)
+    with pytest.raises(SolverError):
+        solver.new_group()
+
+
+def test_learned_clauses_persist_across_calls():
+    solver = CdclSolver()
+    n = 5
+    holes = n - 1  # pigeonhole: n pigeons, n-1 holes, UNSAT
+
+    def var(p, h):
+        return p * holes + h + 1
+
+    for p in range(n):
+        solver.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(n):
+            for p2 in range(p1 + 1, n):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+    assert solver.solve() is SatResult.UNSAT
+    learned_after_first = solver.stats.learned_clauses
+    assert learned_after_first > 0
+    # A second call re-proves UNSAT immediately: the database remembers.
+    assert solver.solve() is SatResult.UNSAT
+    assert solver.last_call_stats.conflicts == 0
+
+
+def test_per_call_stats_snapshots_sum_to_cumulative():
+    solver = CdclSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    totals = {"conflicts": 0, "clauses_added": 0, "decisions": 0}
+    assert solver.solve() is SatResult.SAT
+    for key in totals:
+        totals[key] += getattr(solver.last_call_stats, key)
+    assert solver.last_call_stats.clauses_added == 1
+    assert solver.last_call_stats.solve_calls == 1
+    solver.add_clause([-a])
+    solver.add_clause([-b, a])
+    assert solver.solve() is SatResult.UNSAT
+    for key in totals:
+        totals[key] += getattr(solver.last_call_stats, key)
+    # The two clauses added between the calls are charged to the second call.
+    assert solver.last_call_stats.clauses_added == 2
+    for key, value in totals.items():
+        assert getattr(solver.stats, key) == value, key
+    assert solver.stats.solve_calls == 2
+
+
+def _add_pigeonhole(solver, group, first_var, pigeons):
+    """Pigeonhole over a private variable block, activated by ``group``."""
+    holes = pigeons - 1
+
+    def var(p, h):
+        return first_var + p * holes + h
+
+    for p in range(pigeons):
+        solver.add_clause([var(p, h) for h in range(holes)], group=group)
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var(p1, h), -var(p2, h)], group=group)
+    return first_var + pigeons * holes
+
+
+def test_conflict_budget_is_per_call_not_lifetime():
+    """Regression: on a persistent solver, ``Budget.max_conflicts`` must bound
+    the conflicts of *this* call, not the lifetime counter."""
+    from repro.sat import Budget
+
+    solver = CdclSolver()
+    g1 = solver.new_group()
+    next_var = _add_pigeonhole(solver, g1, solver.num_vars + 1, pigeons=5)
+    g2 = solver.new_group()
+    solver.ensure_var(next_var)
+    _add_pigeonhole(solver, g2, solver.num_vars + 1, pigeons=5)
+
+    assert solver.solve(assumptions=[solver.group_literal(g1)]) \
+        is SatResult.UNSAT
+    first_call_conflicts = solver.stats.conflicts
+    assert first_call_conflicts > 0
+    # The second, independent instance needs its own conflicts; a per-call
+    # budget sized generously for it must not be charged for the first call.
+    result = solver.solve(assumptions=[solver.group_literal(g2)],
+                          budget=Budget(max_conflicts=first_call_conflicts * 3))
+    assert result is SatResult.UNSAT
+    assert solver.last_call_stats.conflicts > 0
+
+
+def test_phases_and_activities_survive_solve():
+    solver = CdclSolver()
+    a, b = solver.new_var(), solver.new_var()
+    solver.add_clause([a, b])
+    solver.add_clause([a, -b])
+    assert solver.solve() is SatResult.SAT
+    first = solver.model()
+    # Nothing changed: phase saving must reproduce the same model.
+    assert solver.solve() is SatResult.SAT
+    assert solver.model() == first
