@@ -2,14 +2,27 @@
 
 Every benchmark writes its rendered artefact (table / curve / scatter) into
 ``benchmarks/results/`` so the numbers referenced by EXPERIMENTS.md can be
-regenerated with a single ``pytest benchmarks/ --benchmark-only`` run.
+regenerated with a single ``pytest -m bench`` run.
+
+Everything under this directory is auto-tagged with the ``bench`` marker,
+which the default run deselects (``addopts = "-m 'not bench'"`` in
+pyproject.toml): the tier-1 signal stays fast while the artefact
+regeneration remains one explicit flag away.
 """
 
 import os
 
 import pytest
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+RESULTS_DIR = os.path.join(_BENCH_DIR, "results")
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -21,7 +21,10 @@ The package provides, in pure Python:
 * the four unbounded model-checking engines compared in the paper —
   standard interpolation, interpolation sequences, serial interpolation
   sequences and interpolation sequences with counterexample-based
-  abstraction (:mod:`repro.core`, :mod:`repro.abstraction`);
+  abstraction (:mod:`repro.core`, :mod:`repro.abstraction`) — plus an
+  IC3/PDR engine (:mod:`repro.pdr`), the portfolio's structurally
+  different prover: unbounded proofs from relative-inductive frames on a
+  single persistent solver, with no unrolling at all;
 * a BDD engine for exact reachability and circuit diameters
   (:mod:`repro.bdd`);
 * synthetic benchmark circuits and the experiment harness regenerating the
@@ -45,6 +48,7 @@ from .core import (
     ItpEngine,
     ItpSeqCbaEngine,
     ItpSeqEngine,
+    PdrEngine,
     Portfolio,
     SerialItpSeqEngine,
     Verdict,
@@ -70,6 +74,7 @@ __all__ = [
     "ItpEngine",
     "ItpSeqCbaEngine",
     "ItpSeqEngine",
+    "PdrEngine",
     "Portfolio",
     "SerialItpSeqEngine",
     "Verdict",

@@ -1,0 +1,126 @@
+"""Command-line driver: run any registered engine (or the portfolio) on an AIGER file.
+
+Examples::
+
+    python -m repro design.aag --engine pdr
+    python -m repro design.aig --engine itpseq --max-bound 40 --time-limit 60
+    python -m repro design.aag --engine portfolio --stats
+    python -m repro --list-engines
+
+The file may be ASCII (``.aag``) or binary (``.aig``) AIGER — the variant
+is sniffed from the magic bytes, not the extension.  Exit status: 0 when
+the property holds (PASS), 1 on a counterexample (FAIL), 2 when the run
+ended without an answer (UNKNOWN / budget overflow), 3 on usage or input
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .aig import AigerError, Model, read_aiger
+from .core import ENGINES, EngineOptions, Portfolio, run_engine
+from .core.result import VerificationResult
+
+__all__ = ["main"]
+
+_EXIT_BY_VERDICT = {"pass": 0, "fail": 1, "ovf": 2, "unknown": 2}
+
+
+class _Parser(argparse.ArgumentParser):
+    """Argument parser honouring the module's exit-code contract.
+
+    argparse exits with status 2 on usage errors, but 2 is reserved for
+    "no answer" here — usage and input errors are documented as 3.
+    """
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(3)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = _Parser(
+        prog="python -m repro",
+        description="Model-check one safety property of an AIGER circuit.")
+    parser.add_argument("file", nargs="?",
+                        help="AIGER file, ASCII (.aag) or binary (.aig)")
+    parser.add_argument("--engine", default="pdr",
+                        choices=sorted(ENGINES) + ["portfolio"],
+                        help="engine from the registry, or 'portfolio' to run "
+                             "them in sequence until one answers (default: pdr)")
+    parser.add_argument("--property", type=int, default=0, metavar="N",
+                        help="index of the bad literal to check (default: 0)")
+    parser.add_argument("--max-bound", type=int, default=30, metavar="K",
+                        help="bound / frame limit before giving up (default: 30)")
+    parser.add_argument("--time-limit", type=float, default=None, metavar="SEC",
+                        help="wall-clock budget in seconds per engine run — "
+                             "the portfolio grants it to each member in turn "
+                             "(default: none)")
+    parser.add_argument("--no-validate", action="store_true",
+                        help="skip replaying counterexample traces on the model")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the engine's statistics counters")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the counterexample input trace on FAIL")
+    parser.add_argument("--list-engines", action="store_true",
+                        help="list the registered engines and exit")
+    return parser
+
+
+def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
+    print(result)
+    if result.message:
+        print(f"  note: {result.message}")
+    if args.stats:
+        for key, value in result.stats.as_dict().items():
+            print(f"  {key}: {value}")
+    if args.trace and result.trace is not None:
+        trace = result.trace
+        print(f"  initial state: { {v: int(b) for v, b in sorted(trace.initial_state.items())} }")
+        for frame, inputs in enumerate(trace.inputs):
+            print(f"  inputs@{frame}: { {v: int(b) for v, b in sorted(inputs.items())} }")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_engines:
+        for name, engine_cls in ENGINES.items():
+            doc = next(iter((engine_cls.__doc__ or "").strip().splitlines()), "")
+            print(f"{name:12s} {doc}")
+        return 0
+    if args.file is None:
+        parser.print_usage(sys.stderr)
+        print("error: an AIGER file is required (or --list-engines)",
+              file=sys.stderr)
+        return 3
+
+    try:
+        aig = read_aiger(args.file)
+    except (OSError, AigerError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    try:
+        model = Model(aig, property_index=args.property, name=args.file)
+    except (ValueError, IndexError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+    options = EngineOptions(max_bound=args.max_bound,
+                            time_limit=args.time_limit,
+                            validate_traces=not args.no_validate)
+    if args.engine == "portfolio":
+        result = Portfolio(options=options).run_first_solved(model)
+    else:
+        result = run_engine(args.engine, model, options)
+    _print_result(result, args)
+    return _EXIT_BY_VERDICT[result.verdict.value]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,9 @@ Public surface:
   the bit-level circuit representation;
 * :class:`AigBuilder` — word-level construction DSL;
 * :class:`Model`, :class:`StateCube` — an AIG plus one safety property;
-* :func:`read_aag` / :func:`write_aag` — ASCII AIGER interchange;
+* :func:`read_aag` / :func:`write_aag` and :func:`read_aig` /
+  :func:`write_aig` — ASCII and binary AIGER interchange
+  (:func:`read_aiger` sniffs the variant);
 * simulation and structural utilities.
 """
 
@@ -22,7 +24,18 @@ from .aig import (
     lit_sign,
     lit_var,
 )
-from .aiger import AigerError, dumps_aag, loads_aag, read_aag, write_aag
+from .aiger import (
+    AigerError,
+    dumps_aag,
+    dumps_aig,
+    loads_aag,
+    loads_aig,
+    read_aag,
+    read_aig,
+    read_aiger,
+    write_aag,
+    write_aig,
+)
 from .builder import AigBuilder, Word
 from .model import Model, StateCube
 from .ops import (
@@ -48,9 +61,14 @@ __all__ = [
     "lit_var",
     "AigerError",
     "dumps_aag",
+    "dumps_aig",
     "loads_aag",
+    "loads_aig",
     "read_aag",
+    "read_aig",
+    "read_aiger",
     "write_aag",
+    "write_aig",
     "AigBuilder",
     "Word",
     "Model",

@@ -1,8 +1,6 @@
-"""Reader and writer for the ASCII AIGER format (``.aag``).
+"""Reader and writer for the AIGER format — ASCII (``.aag``) and binary (``.aig``).
 
-Only the ASCII variant is supported (the binary ``.aig`` delta encoding is
-not needed for the reproduction, since our benchmark circuits are generated
-programmatically), but the reader accepts the common extensions used by
+Both variants are supported, including the common extensions used by
 hardware model-checking benchmarks:
 
 * the extended header ``M I L O A B C`` with bad-state and constraint
@@ -12,6 +10,14 @@ hardware model-checking benchmarks:
 * the symbol table (``i<idx> name``, ``l<idx> name``, ``o<idx> name``,
   ``b<idx> name``) and comment section.
 
+The binary format (:func:`read_aig` / :func:`write_aig`) is the
+delta-encoded variant industrial benchmark files ship in: inputs and latch
+outputs are implicit (literals 2..2(I+L) in order), and each AND gate is
+stored as two LEB128-style variable-length deltas ``lhs - rhs0`` and
+``rhs0 - rhs1`` with ``lhs > rhs0 ≥ rhs1``.  :func:`read_aiger` sniffs the
+magic bytes and dispatches, so callers can load either format without
+caring which one they were handed.
+
 When a file carries no explicit bad literal, outputs are interpreted as bad
 literals, matching the pre-AIGER-1.9 convention used by older HWMCC sets.
 """
@@ -19,101 +25,67 @@ literals, matching the pre-AIGER-1.9 convention used by older HWMCC sets.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Optional, TextIO, Union
+from typing import BinaryIO, Dict, List, Optional, TextIO, Tuple, Union
 
 from .aig import Aig, lit_negate, lit_sign, lit_var
 
-__all__ = ["read_aag", "write_aag", "loads_aag", "dumps_aag", "AigerError"]
+__all__ = ["read_aag", "write_aag", "loads_aag", "dumps_aag",
+           "read_aig", "write_aig", "loads_aig", "dumps_aig",
+           "read_aiger", "AigerError"]
 
 
 class AigerError(ValueError):
     """Raised on malformed AIGER input."""
 
 
-def _parse_header(line: str) -> List[int]:
+#: One latch definition: (latch literal, next-state literal, raw reset value
+#: or ``None`` when the file omitted it, meaning 0).
+_LatchDef = Tuple[int, int, Optional[int]]
+
+
+def _parse_header(line: str, magic: str) -> List[int]:
     parts = line.split()
-    if not parts or parts[0] != "aag":
-        raise AigerError(f"expected 'aag' header, got {line!r}")
+    if not parts or parts[0] != magic:
+        raise AigerError(f"expected {magic!r} header, got {line!r}")
     try:
         fields = [int(x) for x in parts[1:]]
     except ValueError as exc:
         raise AigerError(f"non-integer field in header {line!r}") from exc
     if len(fields) < 5:
         raise AigerError(f"header needs at least M I L O A, got {line!r}")
+    if len(fields) > 9:
+        raise AigerError(f"header has more than the M I L O A B C J F "
+                         f"fields of AIGER 1.9: {line!r}")
+    # AIGER 1.9 justice (J) and fairness (F) sections describe liveness
+    # properties, which this safety checker does not model.
+    if any(fields[7:]):
+        raise AigerError(
+            f"justice/fairness sections are not supported: {line!r}")
+    del fields[7:]
     while len(fields) < 7:
         fields.append(0)
     return fields
 
 
-def loads_aag(text: str) -> Aig:
-    """Parse an ASCII AIGER document from a string."""
-    return read_aag(io.StringIO(text))
+# --------------------------------------------------------------------- #
+# Shared construction (ASCII and binary front-ends meet here)
+# --------------------------------------------------------------------- #
+def _build_aig(input_lits: List[int], latch_defs: List[_LatchDef],
+               output_lits: List[int], bad_lits: List[int],
+               constraint_lits: List[int], and_defs: List[List[int]],
+               tail: List[str]) -> Aig:
+    """Assemble an :class:`Aig` from parsed AIGER definitions.
 
-
-def read_aag(source: Union[str, TextIO]) -> Aig:
-    """Read an ASCII AIGER file from a path or file object."""
-    if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            return read_aag(handle)
-
-    lines = [line.rstrip("\n") for line in source]
-    if not lines:
-        raise AigerError("empty AIGER input")
-    max_var, n_in, n_latch, n_out, n_and, n_bad, n_constr = _parse_header(lines[0])
-
-    body = lines[1:]
-    needed = n_in + n_latch + n_out + n_bad + n_constr + n_and
-    if len(body) < needed:
-        raise AigerError(
-            f"AIGER body too short: need {needed} definition lines, found {len(body)}")
-
+    Works for both front-ends because each hands over explicit literals:
+    the binary reader synthesises the implicit input/latch literals before
+    calling in.  ``Aig.new_var`` allocates consecutively and AIGER requires
+    definitions in increasing variable order, so remapping preserves the
+    structure exactly.
+    """
     aig = Aig("aiger")
-    # The AIGER literal numbering must be preserved exactly, so pre-allocate
-    # variables and remember the role of each.
-    lit_of_var: Dict[int, int] = {0: 0}
-
-    pos = 0
-    input_lits: List[int] = []
-    for _ in range(n_in):
-        lit = int(body[pos].split()[0])
-        pos += 1
-        if lit_sign(lit) or lit == 0:
-            raise AigerError(f"input literal must be positive and even, got {lit}")
-        input_lits.append(lit)
-
-    latch_defs: List[List[str]] = []
-    for _ in range(n_latch):
-        latch_defs.append(body[pos].split())
-        pos += 1
-
-    output_lits = [int(body[pos + i].split()[0]) for i in range(n_out)]
-    pos += n_out
-    bad_lits = [int(body[pos + i].split()[0]) for i in range(n_bad)]
-    pos += n_bad
-    constraint_lits = [int(body[pos + i].split()[0]) for i in range(n_constr)]
-    pos += n_constr
-
-    and_defs: List[List[int]] = []
-    for _ in range(n_and):
-        fields = body[pos].split()
-        pos += 1
-        if len(fields) != 3:
-            raise AigerError(f"AND line must have 3 literals: {fields}")
-        and_defs.append([int(f) for f in fields])
-
-    # Build the AIG preserving the original variable indices.  We exploit the
-    # fact that Aig.new_var allocates consecutively, creating placeholders in
-    # AIGER order: inputs, latches, then ANDs must appear with increasing
-    # variable index per the format.
-    var_kind: Dict[int, str] = {}
-    for lit in input_lits:
-        var_kind[lit_var(lit)] = "input"
-    for fields in latch_defs:
-        var_kind[lit_var(int(fields[0]))] = "latch"
     for lhs, _, _ in and_defs:
         if lit_sign(lhs):
             raise AigerError(f"AND output literal must be even, got {lhs}")
-        var_kind[lit_var(lhs)] = "and"
 
     remap: Dict[int, int] = {0: 0}
 
@@ -125,14 +97,14 @@ def read_aag(source: Union[str, TextIO]) -> Aig:
         return lit_negate(mapped) if lit_sign(lit) else mapped
 
     for idx, lit in enumerate(input_lits):
+        if lit_sign(lit) or lit == 0:
+            raise AigerError(f"input literal must be positive and even, got {lit}")
         remap[lit_var(lit)] = aig.add_input(name=f"i{idx}")
 
     latch_handles: List[int] = []
-    for idx, fields in enumerate(latch_defs):
-        lit = int(fields[0])
+    for idx, (lit, _, raw) in enumerate(latch_defs):
         init: Optional[int] = 0
-        if len(fields) >= 3:
-            raw = int(fields[2])
+        if raw is not None:
             if raw == 0:
                 init = 0
             elif raw == 1:
@@ -148,8 +120,7 @@ def read_aag(source: Union[str, TextIO]) -> Aig:
     for lhs, rhs0, rhs1 in and_defs:
         remap[lit_var(lhs)] = aig.add_and(map_lit(rhs0), map_lit(rhs1))
 
-    for idx, fields in enumerate(latch_defs):
-        next_lit = int(fields[1])
+    for idx, (_, next_lit, _) in enumerate(latch_defs):
         aig.set_latch_next(latch_handles[idx], map_lit(next_lit))
 
     for idx, lit in enumerate(output_lits):
@@ -166,12 +137,11 @@ def read_aag(source: Union[str, TextIO]) -> Aig:
         for idx, lit in enumerate(output_lits):
             aig.add_bad(map_lit(lit), name=f"o{idx}")
 
-    _apply_symbol_table(aig, body[pos:], input_lits, latch_defs)
-    _ = max_var  # header M field is informational only
+    _apply_symbol_table(aig, tail)
     return aig
 
 
-def _apply_symbol_table(aig: Aig, tail: List[str], input_lits, latch_defs) -> None:
+def _apply_symbol_table(aig: Aig, tail: List[str]) -> None:
     for line in tail:
         if line.startswith("c"):
             break
@@ -185,6 +155,8 @@ def _apply_symbol_table(aig: Aig, tail: List[str], input_lits, latch_defs) -> No
             idx = int(rest[0])
         except ValueError:
             continue
+        if idx < 0:
+            continue  # negative indices would alias entries from the end
         name = rest[1]
         if kind == "i" and idx < len(aig.input_vars()):
             aig._input_names[aig.input_vars()[idx]] = name  # noqa: SLF001
@@ -197,6 +169,243 @@ def _apply_symbol_table(aig: Aig, tail: List[str], input_lits, latch_defs) -> No
             aig._output_names[idx] = name  # noqa: SLF001
         elif kind == "b" and idx < len(aig.bad):
             aig._bad_names[idx] = name  # noqa: SLF001
+
+
+def _int_lit(text: str, what: str) -> int:
+    """Parse one integer field, converting failures into AigerError."""
+    try:
+        return int(text)
+    except ValueError as exc:
+        raise AigerError(f"non-integer {what}: {text!r}") from exc
+
+
+def _first_lit(line: str, what: str) -> int:
+    fields = line.split()
+    if not fields:
+        raise AigerError(f"blank line where {what} was expected")
+    return _int_lit(fields[0], what)
+
+
+# --------------------------------------------------------------------- #
+# ASCII reader
+# --------------------------------------------------------------------- #
+def loads_aag(text: str) -> Aig:
+    """Parse an ASCII AIGER document from a string."""
+    return read_aag(io.StringIO(text))
+
+
+def read_aag(source: Union[str, TextIO]) -> Aig:
+    """Read an ASCII AIGER file from a path or file object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_aag(handle)
+
+    try:
+        lines = [line.rstrip("\n") for line in source]
+    except UnicodeDecodeError as exc:
+        raise AigerError("ASCII AIGER input is not valid UTF-8") from exc
+    if not lines:
+        raise AigerError("empty AIGER input")
+    max_var, n_in, n_latch, n_out, n_and, n_bad, n_constr = \
+        _parse_header(lines[0], "aag")
+
+    body = lines[1:]
+    needed = n_in + n_latch + n_out + n_bad + n_constr + n_and
+    if len(body) < needed:
+        raise AigerError(
+            f"AIGER body too short: need {needed} definition lines, found {len(body)}")
+
+    pos = 0
+    input_lits: List[int] = []
+    for _ in range(n_in):
+        input_lits.append(_first_lit(body[pos], "input literal"))
+        pos += 1
+
+    latch_defs: List[_LatchDef] = []
+    for _ in range(n_latch):
+        fields = body[pos].split()
+        pos += 1
+        if len(fields) < 2:
+            raise AigerError(f"latch line needs 'lit next [init]': {fields}")
+        latch_defs.append((_int_lit(fields[0], "latch literal"),
+                           _int_lit(fields[1], "latch next-state literal"),
+                           _int_lit(fields[2], "latch reset value")
+                           if len(fields) >= 3 else None))
+
+    output_lits = [_first_lit(body[pos + i], "output literal")
+                   for i in range(n_out)]
+    pos += n_out
+    bad_lits = [_first_lit(body[pos + i], "bad literal") for i in range(n_bad)]
+    pos += n_bad
+    constraint_lits = [_first_lit(body[pos + i], "constraint literal")
+                       for i in range(n_constr)]
+    pos += n_constr
+
+    and_defs: List[List[int]] = []
+    for _ in range(n_and):
+        fields = body[pos].split()
+        pos += 1
+        if len(fields) != 3:
+            raise AigerError(f"AND line must have 3 literals: {fields}")
+        and_defs.append([_int_lit(f, "AND literal") for f in fields])
+
+    _ = max_var  # header M field is informational only in the ASCII variant
+    return _build_aig(input_lits, latch_defs, output_lits, bad_lits,
+                      constraint_lits, and_defs, body[pos:])
+
+
+# --------------------------------------------------------------------- #
+# Binary reader
+# --------------------------------------------------------------------- #
+def _decode_delta(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one LEB128-style delta; returns (value, next position)."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise AigerError("truncated binary AIGER: delta ends mid-stream")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _read_line(data: bytes, pos: int) -> Tuple[str, int]:
+    end = data.find(b"\n", pos)
+    if end < 0:
+        raise AigerError("truncated binary AIGER: unterminated line")
+    try:
+        return data[pos:end].decode("ascii"), end + 1
+    except UnicodeDecodeError as exc:
+        raise AigerError(
+            f"non-ASCII byte in binary AIGER definition line at offset "
+            f"{pos}") from exc
+
+
+def loads_aig(data: bytes) -> Aig:
+    """Parse a binary AIGER document from bytes."""
+    header, pos = _read_line(data, 0)
+    max_var, n_in, n_latch, n_out, n_and, n_bad, n_constr = \
+        _parse_header(header, "aig")
+    if max_var != n_in + n_latch + n_and:
+        raise AigerError(
+            f"binary AIGER requires M = I + L + A, got "
+            f"M={max_var}, I={n_in}, L={n_latch}, A={n_and}")
+
+    # Inputs and latch outputs are implicit: literals 2, 4, ... in order.
+    input_lits = [2 * (i + 1) for i in range(n_in)]
+
+    latch_defs: List[_LatchDef] = []
+    for i in range(n_latch):
+        line, pos = _read_line(data, pos)
+        fields = line.split()
+        if not 1 <= len(fields) <= 2:
+            raise AigerError(f"binary latch line needs 'next [init]': {line!r}")
+        lit = 2 * (n_in + i + 1)
+        latch_defs.append((lit, _int_lit(fields[0], "latch next-state literal"),
+                           _int_lit(fields[1], "latch reset value")
+                           if len(fields) == 2 else None))
+
+    def read_literal_lines(count: int, position: int,
+                           what: str) -> Tuple[List[int], int]:
+        lits = []
+        for _ in range(count):
+            line, position = _read_line(data, position)
+            lits.append(_first_lit(line, what))
+        return lits, position
+
+    output_lits, pos = read_literal_lines(n_out, pos, "output literal")
+    bad_lits, pos = read_literal_lines(n_bad, pos, "bad literal")
+    constraint_lits, pos = read_literal_lines(n_constr, pos, "constraint literal")
+
+    and_defs: List[List[int]] = []
+    for i in range(n_and):
+        lhs = 2 * (n_in + n_latch + i + 1)
+        delta0, pos = _decode_delta(data, pos)
+        delta1, pos = _decode_delta(data, pos)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if delta0 < 1 or rhs1 < 0:
+            raise AigerError(
+                f"invalid AND deltas for literal {lhs}: require "
+                f"lhs > rhs0 >= rhs1, decoded rhs0={rhs0}, rhs1={rhs1}")
+        and_defs.append([lhs, rhs0, rhs1])
+
+    tail = data[pos:].decode("utf-8", errors="replace").splitlines()
+    return _build_aig(input_lits, latch_defs, output_lits, bad_lits,
+                      constraint_lits, and_defs, tail)
+
+
+def read_aig(source: Union[str, BinaryIO]) -> Aig:
+    """Read a binary AIGER file from a path or binary file object."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            return read_aig(handle)
+    return loads_aig(source.read())
+
+
+def read_aiger(path: str) -> Aig:
+    """Read an AIGER file of either variant, sniffing the ``aig``/``aag`` magic."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+    if magic.startswith(b"aig "):
+        return read_aig(path)
+    if magic.startswith(b"aag "):
+        return read_aag(path)
+    raise AigerError(f"{path}: not an AIGER file (magic {magic!r})")
+
+
+# --------------------------------------------------------------------- #
+# Writers
+# --------------------------------------------------------------------- #
+def _canonical_remap(aig: Aig):
+    """Renumber variables into AIGER order: inputs, latches, then ANDs.
+
+    ``Aig`` creation order is topological for ANDs (operands must exist
+    before :meth:`~repro.aig.aig.Aig.add_and`), so the renumbering also
+    guarantees the binary format's ``lhs > rhs0 ≥ rhs1`` invariant.
+    """
+    remap: Dict[int, int] = {0: 0}
+    next_var = 1
+    for var in aig.input_vars():
+        remap[var] = next_var
+        next_var += 1
+    for var in aig.latch_vars():
+        remap[var] = next_var
+        next_var += 1
+    for gate in aig.iter_and_gates():
+        remap[gate.var] = next_var
+        next_var += 1
+
+    def map_lit(lit: int) -> int:
+        mapped = remap[lit_var(lit)] * 2
+        return mapped + 1 if lit_sign(lit) else mapped
+
+    return remap, map_lit, next_var - 1
+
+
+def _header_line(magic: str, aig: Aig, max_var: int) -> str:
+    return (f"{magic} {max_var} {aig.num_inputs} {aig.num_latches} "
+            f"{len(aig.outputs)} {aig.num_ands} {len(aig.bad)} "
+            f"{len(aig.constraints)}")
+
+
+def _symbol_lines(aig: Aig) -> List[str]:
+    lines: List[str] = []
+    for idx, var in enumerate(aig.input_vars()):
+        lines.append(f"i{idx} {aig.input_name(var)}")
+    for idx, latch in enumerate(aig.latches):
+        if latch.name:
+            lines.append(f"l{idx} {latch.name}")
+    for idx in range(len(aig.outputs)):
+        lines.append(f"o{idx} {aig.output_name(idx)}")
+    for idx in range(len(aig.bad)):
+        lines.append(f"b{idx} {aig.bad_name(idx)}")
+    lines.append("c")
+    lines.append("generated by repro (Interpolation Sequences Revisited reproduction)")
+    return lines
 
 
 def dumps_aag(aig: Aig) -> str:
@@ -218,28 +427,8 @@ def write_aag(aig: Aig, destination: Union[str, TextIO]) -> None:
             write_aag(aig, handle)
             return
 
-    # Renumber: inputs first, then latches, then ANDs in topological order.
-    remap: Dict[int, int] = {0: 0}
-    next_var = 1
-    for var in aig.input_vars():
-        remap[var] = next_var
-        next_var += 1
-    for var in aig.latch_vars():
-        remap[var] = next_var
-        next_var += 1
-    for gate in aig.iter_and_gates():
-        remap[gate.var] = next_var
-        next_var += 1
-
-    def map_lit(lit: int) -> int:
-        mapped = remap[lit_var(lit)] * 2
-        return mapped + 1 if lit_sign(lit) else mapped
-
-    max_var = next_var - 1
-    lines = [
-        f"aag {max_var} {aig.num_inputs} {aig.num_latches} "
-        f"{len(aig.outputs)} {aig.num_ands} {len(aig.bad)} {len(aig.constraints)}"
-    ]
+    remap, map_lit, max_var = _canonical_remap(aig)
+    lines = [_header_line("aag", aig, max_var)]
     for var in aig.input_vars():
         lines.append(str(remap[var] * 2))
     for latch in aig.latches:
@@ -260,15 +449,57 @@ def write_aag(aig: Aig, destination: Union[str, TextIO]) -> None:
         if left < right:
             left, right = right, left
         lines.append(f"{remap[gate.var] * 2} {left} {right}")
-    for idx, var in enumerate(aig.input_vars()):
-        lines.append(f"i{idx} {aig.input_name(var)}")
-    for idx, latch in enumerate(aig.latches):
-        if latch.name:
-            lines.append(f"l{idx} {latch.name}")
-    for idx in range(len(aig.outputs)):
-        lines.append(f"o{idx} {aig.output_name(idx)}")
-    for idx in range(len(aig.bad)):
-        lines.append(f"b{idx} {aig.bad_name(idx)}")
-    lines.append("c")
-    lines.append("generated by repro (Interpolation Sequences Revisited reproduction)")
+    lines.extend(_symbol_lines(aig))
     destination.write("\n".join(lines) + "\n")
+
+
+def _encode_delta(value: int) -> bytes:
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def dumps_aig(aig: Aig) -> bytes:
+    """Serialise an AIG to a binary AIGER byte string."""
+    buffer = io.BytesIO()
+    write_aig(aig, buffer)
+    return buffer.getvalue()
+
+
+def write_aig(aig: Aig, destination: Union[str, BinaryIO]) -> None:
+    """Write an AIG to a path or binary file object in binary AIGER format."""
+    if isinstance(destination, str):
+        with open(destination, "wb") as handle:
+            write_aig(aig, handle)
+            return
+
+    remap, map_lit, max_var = _canonical_remap(aig)
+    out = bytearray()
+    out += (_header_line("aig", aig, max_var) + "\n").encode("ascii")
+    for latch in aig.latches:
+        lit = remap[latch.var] * 2
+        reset = lit if latch.init is None else latch.init
+        out += f"{map_lit(latch.next)} {reset}\n".encode("ascii")
+    for lit in aig.outputs:
+        out += f"{map_lit(lit)}\n".encode("ascii")
+    for lit in aig.bad:
+        out += f"{map_lit(lit)}\n".encode("ascii")
+    for lit in aig.constraints:
+        out += f"{map_lit(lit)}\n".encode("ascii")
+    for gate in aig.iter_and_gates():
+        lhs = remap[gate.var] * 2
+        rhs0, rhs1 = map_lit(gate.left), map_lit(gate.right)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        out += _encode_delta(lhs - rhs0)
+        out += _encode_delta(rhs0 - rhs1)
+    # Symbol names may be arbitrary text; encode the tail as UTF-8 like the
+    # ASCII writer does (the structural sections above are pure ASCII).
+    out += ("\n".join(_symbol_lines(aig)) + "\n").encode("utf-8")
+    destination.write(bytes(out))

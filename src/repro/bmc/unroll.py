@@ -175,6 +175,17 @@ class Unroller:
             lit = self._encode(frame, constraint, partition)
             self._add_clause([lit], partition)
 
+    def constraint_literals(self, frame: int, partition: Optional[int]) -> List[int]:
+        """Encode (without asserting) each invariant constraint at a frame.
+
+        Callers that need the constraints retractable — e.g. PDR, whose
+        bad-state queries must not force the violating state to have a
+        constraint-satisfying successor — put the returned unit literals
+        under an activation group instead of asserting them.
+        """
+        return [self._encode(frame, constraint, partition)
+                for constraint in self.model.constraints]
+
     def assert_formula(self, aig_lit: int, frame: int, partition: Optional[int],
                        negate: bool = False) -> None:
         """Assert an arbitrary AIG predicate (e.g. an interpolant) at a frame.

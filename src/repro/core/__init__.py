@@ -1,10 +1,11 @@
-"""The paper's contribution: interpolation-sequence-based UMC engines."""
+"""The UMC engines: the paper's interpolation-sequence family plus IC3/PDR."""
 
 from .base import OutOfBudget, UmcEngine, implies, initial_states_predicate
 from .cba_engine import ItpSeqCbaEngine
 from .itp_engine import ItpEngine
 from .itpseq_engine import ItpSeqEngine
 from .options import EngineOptions
+from .pdr_engine import PdrEngine
 from .portfolio import ENGINES, Portfolio, run_engine
 from .result import EngineStats, Verdict, VerificationResult
 from .sitpseq_engine import SerialItpSeqEngine, compute_serial_sequence
@@ -17,6 +18,7 @@ __all__ = [
     "ItpSeqCbaEngine",
     "ItpEngine",
     "ItpSeqEngine",
+    "PdrEngine",
     "EngineOptions",
     "ENGINES",
     "Portfolio",

@@ -54,6 +54,15 @@ class EngineOptions:
         abstracts every latch.
     cba_refine_batch:
         Maximum number of latches re-introduced per refinement step.
+    pdr_gen_budget:
+        PDR inductive generalization: maximum number of *failed*
+        literal-drop attempts per blocked cube (successful drops are free);
+        0 disables generalization beyond the UNSAT-core shrink.
+    pdr_push_period:
+        PDR clause pushing: run the propagation phase only every N frame
+        openings (1, the default, pushes after every frame as the standard
+        algorithm does; larger values trade later fixpoint detection for
+        fewer push queries).
     """
 
     max_bound: int = 30
@@ -66,6 +75,8 @@ class EngineOptions:
     validate_traces: bool = True
     cba_initial_visible: str = "property"
     cba_refine_batch: int = 4
+    pdr_gen_budget: int = 32
+    pdr_push_period: int = 1
 
     def with_changes(self, **kwargs) -> "EngineOptions":
         """Return a copy with some fields replaced."""
@@ -84,3 +95,7 @@ class EngineOptions:
                 f"got {self.cba_initial_visible!r}")
         if self.cba_refine_batch < 1:
             raise ValueError("cba_refine_batch must be at least 1")
+        if self.pdr_gen_budget < 0:
+            raise ValueError("pdr_gen_budget must be non-negative")
+        if self.pdr_push_period < 1:
+            raise ValueError("pdr_push_period must be at least 1")

@@ -1,11 +1,16 @@
-"""A tiny sequential portfolio over the four engines.
+"""A tiny sequential portfolio over the five engines.
 
 The paper positions ITPSEQ (and its serial / CBA variants) as "an
 additional engine within a potential portfolio of available MC techniques"
 (Section IV).  :class:`Portfolio` realises that: it runs a configurable
 list of engines on the same model, stopping at the first definitive answer
 or collecting every result for comparison — the mode the experiment harness
-uses to build Table I.
+uses to build Table I.  With the PDR engine registered the portfolio now
+contains a structurally different prover as well: the four interpolation
+engines refute ever-deeper unrollings, PDR strengthens relative-inductive
+frames over a single transition copy, and the two families dominate on
+different instances (deep diameters with easy inductive invariants favour
+PDR; shallow convergence with hard local reasoning favours interpolation).
 """
 
 from __future__ import annotations
@@ -18,17 +23,20 @@ from .cba_engine import ItpSeqCbaEngine
 from .itp_engine import ItpEngine
 from .itpseq_engine import ItpSeqEngine
 from .options import EngineOptions
+from .pdr_engine import PdrEngine
 from .result import VerificationResult
 from .sitpseq_engine import SerialItpSeqEngine
 
 __all__ = ["ENGINES", "Portfolio", "run_engine"]
 
-#: Registry of engine name -> class, in the order the paper's Table I uses.
+#: Registry of engine name -> class, in the order the paper's Table I uses
+#: (PDR appended as the portfolio's non-interpolation member).
 ENGINES: Dict[str, Type[UmcEngine]] = {
     "itp": ItpEngine,
     "itpseq": ItpSeqEngine,
     "sitpseq": SerialItpSeqEngine,
     "itpseqcba": ItpSeqCbaEngine,
+    "pdr": PdrEngine,
 }
 
 

@@ -40,6 +40,12 @@ class EngineStats:
     counterexample search plus the proof-logged refutation checks);
     ``max_call_conflicts`` is the *per-call* peak, so Fig. 6/7 records can
     report both the total solver work and the hardest single query.
+
+    ``blocked_cubes`` and ``clauses_pushed`` are populated by the PDR
+    engine only (frame clauses learned, and how many of them the
+    propagation phase moved forward); they stay 0 for the interpolation
+    engines, whose proof effort shows up in ``itp_extractions``/``itp_nodes``
+    instead.
     """
 
     sat_calls: int = 0
@@ -52,6 +58,8 @@ class EngineStats:
     clauses_added: int = 0
     conflicts: int = 0
     max_call_conflicts: int = 0
+    blocked_cubes: int = 0
+    clauses_pushed: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -65,6 +73,8 @@ class EngineStats:
             "clauses_added": self.clauses_added,
             "conflicts": self.conflicts,
             "max_call_conflicts": self.max_call_conflicts,
+            "blocked_cubes": self.blocked_cubes,
+            "clauses_pushed": self.clauses_pushed,
         }
 
 

@@ -19,7 +19,10 @@ class EngineRecord:
     ``clauses_added`` / ``conflicts`` are cumulative over the whole run;
     ``max_call_conflicts`` is the per-call peak — both views of the solver
     work are recorded so the Fig. 6/7 artefacts can relate runtimes to the
-    incremental-vs-monolithic encoding effort.
+    incremental-vs-monolithic encoding effort.  ``blocked_cubes`` /
+    ``clauses_pushed`` describe the PDR engine's frame effort (0 for the
+    interpolation engines), letting Table-I-style runs compare the two
+    prover families on solver counters rather than wall clock alone.
     """
 
     engine: str
@@ -33,6 +36,8 @@ class EngineRecord:
     clauses_added: int = 0
     conflicts: int = 0
     max_call_conflicts: int = 0
+    blocked_cubes: int = 0
+    clauses_pushed: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -48,6 +53,8 @@ class EngineRecord:
             clauses_added=result.stats.clauses_added,
             conflicts=result.stats.conflicts,
             max_call_conflicts=result.stats.max_call_conflicts,
+            blocked_cubes=result.stats.blocked_cubes,
+            clauses_pushed=result.stats.clauses_pushed,
         )
 
     @property
@@ -67,6 +74,8 @@ class EngineRecord:
             "clauses_added": self.clauses_added,
             "conflicts": self.conflicts,
             "max_call_conflicts": self.max_call_conflicts,
+            "blocked_cubes": self.blocked_cubes,
+            "clauses_pushed": self.clauses_pushed,
         }
 
 

@@ -28,7 +28,7 @@ __all__ = ["HarnessConfig", "ExperimentRunner"]
 class HarnessConfig:
     """Batch-run configuration."""
 
-    engines: Sequence[str] = ("itp", "itpseq", "sitpseq", "itpseqcba")
+    engines: Sequence[str] = ("itp", "itpseq", "sitpseq", "itpseqcba", "pdr")
     time_limit: float = 60.0            # per engine per instance, seconds
     max_bound: int = 30
     run_bdds: bool = True

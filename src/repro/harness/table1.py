@@ -1,9 +1,11 @@
-"""Table I: per-instance comparison of BDDs, ITP, ITPSEQ, SITPSEQ, ITPSEQCBA.
+"""Table I: per-instance comparison of BDDs, ITP, ITPSEQ, SITPSEQ, ITPSEQCBA, PDR.
 
 For every suite instance the table reports the circuit size (#PI, #FF), the
 BDD baseline (forward/backward diameters and times, or overflow), and for
 each engine the runtime together with the (k_fp, j_fp) depth pair of
-Section IV-B — exactly the columns of the paper's Table I.
+Section IV-B — the columns of the paper's Table I, extended with a fifth
+engine column group for the IC3/PDR engine (its k_fp is the number of
+frames built, its j_fp the fixpoint frame index).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from .runner import ExperimentRunner, HarnessConfig
 __all__ = ["TABLE1_ENGINES", "table1_headers", "table1_rows", "render_table1",
            "run_table1"]
 
-TABLE1_ENGINES = ("itp", "itpseq", "sitpseq", "itpseqcba")
+TABLE1_ENGINES = ("itp", "itpseq", "sitpseq", "itpseqcba", "pdr")
 
 
 def table1_headers(engines: Sequence[str] = TABLE1_ENGINES) -> List[str]:

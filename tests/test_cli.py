@@ -1,0 +1,93 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.aig import write_aag, write_aig
+from repro.circuits import counter, modular_counter, token_ring
+
+
+@pytest.fixture
+def safe_aag(tmp_path):
+    path = str(tmp_path / "safe.aag")
+    write_aag(modular_counter(width=2, modulus=3, target=3).aig, path)
+    return path
+
+
+@pytest.fixture
+def unsafe_aag(tmp_path):
+    path = str(tmp_path / "unsafe.aag")
+    write_aag(counter(width=2, target=3, with_enable=False).aig, path)
+    return path
+
+
+def test_list_engines_includes_all_five(capsys):
+    assert main(["--list-engines"]) == 0
+    out = capsys.readouterr().out
+    for name in ("itp", "itpseq", "sitpseq", "itpseqcba", "pdr"):
+        assert name in out
+
+
+@pytest.mark.parametrize("engine", ["pdr", "itp", "portfolio"])
+def test_pass_exits_zero(engine, safe_aag, capsys):
+    assert main([safe_aag, "--engine", engine]) == 0
+    assert "pass" in capsys.readouterr().out.lower()
+
+
+def test_fail_exits_one_and_prints_trace(unsafe_aag, capsys):
+    assert main([unsafe_aag, "--engine", "pdr", "--trace", "--stats"]) == 1
+    out = capsys.readouterr().out
+    assert "fail" in out.lower()
+    assert "inputs@0" in out
+    assert "sat_calls" in out
+
+
+def test_binary_aig_file_is_sniffed(tmp_path, capsys):
+    path = str(tmp_path / "ring.aig")
+    write_aig(token_ring(4).aig, path)
+    assert main([path, "--engine", "pdr"]) == 0
+
+
+def test_frame_limit_exhaustion_exits_two(unsafe_aag):
+    # Bad state is 3 steps deep; one frame cannot decide it.
+    assert main([unsafe_aag, "--engine", "pdr", "--max-bound", "1"]) == 2
+
+
+def test_missing_file_is_usage_error(capsys):
+    assert main([]) == 3
+    assert "required" in capsys.readouterr().err
+
+
+def test_argparse_usage_errors_exit_three(safe_aag, capsys):
+    # argparse's native exit status is 2, which the contract reserves for
+    # "no answer" — usage errors must surface as 3.
+    with pytest.raises(SystemExit) as info:
+        main([safe_aag, "--engine", "bogus"])
+    assert info.value.code == 3
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unreadable_file_is_input_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope.aag")]) == 3
+    assert "error" in capsys.readouterr().err
+
+
+def test_non_aiger_file_is_input_error(tmp_path, capsys):
+    path = tmp_path / "junk.aag"
+    path.write_text("this is not AIGER\n")
+    assert main([str(path)]) == 3
+    assert "error" in capsys.readouterr().err
+
+
+def test_corrupt_body_is_input_error_not_fail(tmp_path, capsys):
+    # A non-integer body field must exit 3 (input error), never 1 — exit 1
+    # is the documented "counterexample found" status.
+    path = tmp_path / "corrupt.aag"
+    path.write_text("aag 1 1 0 1 0\nx\n2\n")
+    assert main([str(path)]) == 3
+    assert "non-integer" in capsys.readouterr().err
+
+
+def test_property_index_out_of_range_is_input_error(safe_aag, capsys):
+    assert main([safe_aag, "--property", "7"]) == 3
+    assert "error" in capsys.readouterr().err
