@@ -1,0 +1,28 @@
+"""Deterministic resource budgets shared by the artefact benchmarks.
+
+Artefact runs must terminate at a machine-independent point, so they
+budget on *solver counters*, never on the wall clock (see
+``EngineOptions.max_clauses`` / ``max_propagations``).  Committed tables
+regenerate byte-for-byte on any hardware and at any ``--jobs`` fan-out;
+CI enforces that with ``git diff --exit-code benchmarks/results/``.
+
+The accounting behind the counters includes the containment-check solvers
+(``UmcEngine._implies``): on interpolant-heavy runs the Tseitin encoding
+of the interpolant cones dominates the cost, so the clause counter is the
+budget that actually binds — the deep-ring cells that used to burn a whole
+wall-clock budget blow through it within seconds, at the same bound on
+every machine.
+"""
+
+#: Per-(engine, instance) cap on total clause additions (solver inputs
+#: plus containment-check encodings).  Sized ~1.6x above the heaviest
+#: solved cell in the suite (ITPSEQ on indA1_ring12: ~3.09 M including
+#: containment encodings); the ITPSEQ-family cells on indA2_ring16 and
+#: the exact-k cells on both deep rings overflow it deterministically.
+CLAUSE_BUDGET = 5_000_000
+
+#: Per-(engine, instance) cap on total unit propagations, the effort
+#: proxy for search-heavy runs (cf. kissat's "ticks").  ~3x above the
+#: heaviest solved cell (SITPSEQ on indA1_ring12: ~3.2 M); a second net
+#: under the clause budget for runs whose formulas stay small but hard.
+PROP_BUDGET = 10_000_000

@@ -1,13 +1,25 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark writes its rendered artefact (table / curve / scatter) into
-``benchmarks/results/`` so the numbers referenced by EXPERIMENTS.md can be
-regenerated with a single ``pytest -m bench`` run.
+Artefacts come in two determinism classes, and the split is what lets CI
+gate on them:
+
+* ``save_artifact`` → ``benchmarks/results/`` — **deterministic** tables
+  only (verdicts, depth pairs, solver counters).  These are committed, and
+  the CI bench job fails if regenerating them produces any diff
+  (``git diff --exit-code benchmarks/results/``), so a stale committed
+  table cannot drift silently.  Benchmarks that feed this directory must
+  run under machine-independent budgets (``max_clauses`` / ``max_bound``,
+  never a wall clock).
+* ``save_timing`` → ``benchmarks/results/timing/`` — the same tables
+  *with* their measured wall-clock columns.  Untracked (gitignored), but
+  uploaded as a CI workflow artifact for the record.
 
 Everything under this directory is auto-tagged with the ``bench`` marker,
 which the default run deselects (``addopts = "-m 'not bench'"`` in
 pyproject.toml): the tier-1 signal stays fast while the artefact
-regeneration remains one explicit flag away.
+regeneration remains one explicit flag away.  ``--jobs N`` (defined in the
+repo-root conftest) selects the harness fan-out; regenerated artefacts are
+identical at any value.
 """
 
 import os
@@ -17,12 +29,20 @@ import pytest
 _BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 RESULTS_DIR = os.path.join(_BENCH_DIR, "results")
-
+TIMING_DIR = os.path.join(RESULTS_DIR, "timing")
 
 def pytest_collection_modifyitems(items):
     for item in items:
         if str(item.fspath).startswith(_BENCH_DIR):
             item.add_marker(pytest.mark.bench)
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    # 0 means "all cores" and is passed through as-is: run_suite and
+    # parallel_map both resolve 0 via resolve_jobs.  (Mapping 0 to None
+    # here would silently select run_suite's config default — serial.)
+    return int(request.config.getoption("--jobs"))
 
 
 @pytest.fixture(scope="session")
@@ -32,10 +52,27 @@ def results_dir():
 
 
 @pytest.fixture(scope="session")
-def save_artifact(results_dir):
+def timing_dir():
+    os.makedirs(TIMING_DIR, exist_ok=True)
+    return TIMING_DIR
+
+
+def _writer(directory):
     def _save(name: str, content: str) -> str:
-        path = os.path.join(results_dir, name)
+        path = os.path.join(directory, name)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(content if content.endswith("\n") else content + "\n")
         return path
     return _save
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Write a *deterministic* artefact (committed, CI-diff-gated)."""
+    return _writer(results_dir)
+
+
+@pytest.fixture(scope="session")
+def save_timing(timing_dir):
+    """Write a wall-clock artefact (untracked; uploaded by CI, never gated)."""
+    return _writer(timing_dir)

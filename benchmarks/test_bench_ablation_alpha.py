@@ -8,9 +8,10 @@ archives the per-value runtimes and convergence depths.
 
 import pytest
 
+from budgets import CLAUSE_BUDGET, PROP_BUDGET
 from repro.circuits import get_instance
 from repro.core import EngineOptions, SerialItpSeqEngine
-from repro.harness import format_table
+from repro.harness import drop_time_columns, format_table
 
 pytestmark = pytest.mark.benchmark(group="ablation-alpha")
 
@@ -22,7 +23,9 @@ def _sweep(instance_name):
     instance = get_instance(instance_name)
     rows = []
     for alpha in ALPHAS:
-        options = EngineOptions(max_bound=25, time_limit=60.0, alpha_s=alpha)
+        options = EngineOptions(max_bound=25, time_limit=None,
+                                max_clauses=CLAUSE_BUDGET,
+                                max_propagations=PROP_BUDGET, alpha_s=alpha)
         result = SerialItpSeqEngine(instance.build(), options).run()
         rows.append([alpha, result.verdict.value, round(result.time_seconds, 3),
                      result.k_fp, result.j_fp, result.stats.sat_calls,
@@ -31,12 +34,16 @@ def _sweep(instance_name):
 
 
 @pytest.mark.parametrize("name", INSTANCES)
-def test_alpha_sweep(benchmark, save_artifact, name):
+def test_alpha_sweep(benchmark, save_artifact, save_timing, name):
     rows = benchmark.pedantic(_sweep, args=(name,), rounds=1, iterations=1)
-    table = format_table(
-        ["alpha_s", "verdict", "time", "k_fp", "j_fp", "sat_calls", "itp_nodes"],
-        rows, title=f"alpha_s ablation on {name}")
-    save_artifact(f"ablation_alpha_{name}.txt", table)
+    headers = ["alpha_s", "verdict", "time", "k_fp", "j_fp", "sat_calls",
+               "itp_nodes"]
+    title = f"alpha_s ablation on {name}"
+    save_timing(f"ablation_alpha_{name}.txt",
+                format_table(headers, rows, title=title))
+    det_headers, det_rows = drop_time_columns(headers, rows)
+    save_artifact(f"ablation_alpha_{name}.txt",
+                  format_table(det_headers, det_rows, title=title))
     # Every configuration must reach the same verdict.
     verdicts = {row[1] for row in rows}
     assert len(verdicts - {"ovf", "unknown"}) <= 1

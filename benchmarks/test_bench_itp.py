@@ -13,7 +13,7 @@ import pytest
 from repro.aig.ops import cone_size
 from repro.bmc import BmcCheckKind, build_check
 from repro.circuits import get_instance
-from repro.harness import format_table
+from repro.harness import drop_time_columns, format_table
 from repro.itp import extract_sequence
 from repro.sat import SatResult
 
@@ -42,7 +42,7 @@ def test_sequence_extraction_speed(benchmark, name, depth):
     assert sequence.length == depth + 1
 
 
-def test_itp_system_size_comparison(save_artifact):
+def test_itp_system_size_comparison(save_artifact, save_timing):
     rows = []
     for name, depth in CASES:
         model, unroller = _refutation(name, depth)
@@ -60,8 +60,10 @@ def test_itp_system_size_comparison(save_artifact):
         rows.append([name, depth, len(proof.core_ids()),
                      sizes["mcmillan"], round(times["mcmillan"], 4),
                      sizes["pudlak"], round(times["pudlak"], 4)])
-    table = format_table(
-        ["name", "k", "core_clauses", "mcmillan_nodes", "mcmillan_time",
-         "pudlak_nodes", "pudlak_time"],
-        rows, title="interpolation system ablation (sequence sizes per refutation)")
-    save_artifact("itp_systems.txt", table)
+    headers = ["name", "k", "core_clauses", "mcmillan_nodes", "mcmillan_time",
+               "pudlak_nodes", "pudlak_time"]
+    title = "interpolation system ablation (sequence sizes per refutation)"
+    save_timing("itp_systems.txt", format_table(headers, rows, title=title))
+    det_headers, det_rows = drop_time_columns(headers, rows)
+    save_artifact("itp_systems.txt",
+                  format_table(det_headers, det_rows, title=title))

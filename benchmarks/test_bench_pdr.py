@@ -20,9 +20,10 @@ import time
 
 import pytest
 
+from budgets import CLAUSE_BUDGET, PROP_BUDGET
 from repro.circuits import get_instance
 from repro.core import PdrEngine, run_engine, EngineOptions
-from repro.harness import format_table
+from repro.harness import drop_time_columns, format_table
 
 pytestmark = pytest.mark.benchmark(group="pdr-vs-interpolation")
 
@@ -44,7 +45,9 @@ _RESULT_CACHE = {}
 def _run(engine_name, name):
     key = (engine_name, name)
     if key not in _RESULT_CACHE:
-        options = EngineOptions(max_bound=40, time_limit=300.0)
+        options = EngineOptions(max_bound=40, time_limit=None,
+                                max_clauses=CLAUSE_BUDGET,
+                                max_propagations=PROP_BUDGET)
         started = time.monotonic()
         result = run_engine(engine_name, get_instance(name).build(), options)
         elapsed = time.monotonic() - started
@@ -69,12 +72,16 @@ def _measure(name):
 
 
 @pytest.mark.parametrize("name", CASES)
-def test_pdr_trades_deep_queries_for_shallow_ones(benchmark, save_artifact, name):
+def test_pdr_trades_deep_queries_for_shallow_ones(benchmark, save_artifact,
+                                                  save_timing, name):
     rows, results = benchmark.pedantic(_measure, args=(name,),
                                        rounds=1, iterations=1)
-    table = format_table(HEADERS, rows,
-                         title=f"PDR vs interpolation engines on {name}")
-    save_artifact(f"pdr_vs_interpolation_{name}.txt", table)
+    title = f"PDR vs interpolation engines on {name}"
+    save_timing(f"pdr_vs_interpolation_{name}.txt",
+                format_table(HEADERS, rows, title=title))
+    det_headers, det_rows = drop_time_columns(HEADERS, rows)
+    save_artifact(f"pdr_vs_interpolation_{name}.txt",
+                  format_table(det_headers, det_rows, title=title))
 
     pdr = results["pdr"].stats
     for other_name in ("itp", "itpseq"):
@@ -135,7 +142,9 @@ def test_pdr_runs_on_a_single_persistent_solver(save_artifact):
     rows = []
     for name in CASES:
         engine = PdrEngine(get_instance(name).build(),
-                           EngineOptions(max_bound=40, time_limit=300.0))
+                           EngineOptions(max_bound=40, time_limit=None,
+                                         max_clauses=CLAUSE_BUDGET,
+                                         max_propagations=PROP_BUDGET))
         result = engine.run()
         assert result.verdict.value == "pass", name
         solver_stats = engine.frames.solver.stats

@@ -1,0 +1,15 @@
+"""Repo-level pytest options.
+
+``--jobs`` is consumed by the artefact-regeneration benchmarks (see
+``benchmarks/conftest.py``): the experiment harness fans engine × instance
+cells over that many worker processes.  Artefact content is identical at
+any value (that property is itself under test); only the wall clock
+changes, which is why CI passes ``--jobs 0`` (all cores) to the bench job.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", default="1", metavar="N",
+        help="worker processes for benchmark artefact regeneration "
+             "(0 = all cores; default 1 = the serial reference path)")

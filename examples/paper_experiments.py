@@ -56,6 +56,9 @@ def main() -> None:
                         help="per-engine per-instance time limit in seconds")
     parser.add_argument("--max-bound", type=int, default=25,
                         help="largest BMC bound attempted")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the engine x instance "
+                             "cells (0 = all cores, 1 = serial)")
     parser.add_argument("--output", default=None, help="directory for result files")
     args = parser.parse_args()
 
@@ -67,11 +70,14 @@ def main() -> None:
     run_curves = args.fig6 or args.quick
     run_scatter = args.fig7 or args.quick
 
+    jobs = args.jobs  # 0 = all cores, resolved downstream by resolve_jobs
     if run_table or run_curves:
         config = HarnessConfig(time_limit=args.time_limit, max_bound=args.max_bound,
                                run_bdds=run_table)
-        print(f"running {len(instances)} instances x 4 engines ...", file=sys.stderr)
-        records = ExperimentRunner(config).run_suite(instances, progress=_progress)
+        print(f"running {len(instances)} instances x 5 engines "
+              f"(jobs={args.jobs or 'all cores'}) ...", file=sys.stderr)
+        records = ExperimentRunner(config).run_suite(instances, progress=_progress,
+                                                     jobs=jobs)
         if run_table:
             table = render_table1(records)
             print("\n" + table + "\n")
@@ -85,7 +91,7 @@ def main() -> None:
     if run_scatter:
         print("running Fig. 7 (ITPSEQ exact-k vs assume-k) ...", file=sys.stderr)
         points = run_fig7(instances, time_limit=args.time_limit,
-                          max_bound=args.max_bound,
+                          max_bound=args.max_bound, jobs=jobs,
                           progress=lambda name, point: _progress(
                               name, point.exact_time + point.assume_time))
         fig7 = render_fig7(points)

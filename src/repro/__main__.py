@@ -5,6 +5,7 @@ Examples::
     python -m repro design.aag --engine pdr
     python -m repro design.aig --engine itpseq --max-bound 40 --time-limit 60
     python -m repro design.aag --engine portfolio --stats
+    python -m repro design.aag --engine portfolio --race --jobs 4
     python -m repro --list-engines
 
 The file may be ASCII (``.aag``) or binary (``.aig``) AIGER — the variant
@@ -52,13 +53,21 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=sorted(ENGINES) + ["portfolio"],
                         help="engine from the registry, or 'portfolio' to run "
                              "them in sequence until one answers (default: pdr)")
+    parser.add_argument("--race", action="store_true",
+                        help="portfolio only: race the members in worker "
+                             "processes and cancel the losers at the first "
+                             "definitive answer, instead of taking turns")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="max concurrent worker processes for --race "
+                             "(default: one per engine; 0 = all cores)")
     parser.add_argument("--property", type=int, default=0, metavar="N",
                         help="index of the bad literal to check (default: 0)")
     parser.add_argument("--max-bound", type=int, default=30, metavar="K",
                         help="bound / frame limit before giving up (default: 30)")
     parser.add_argument("--time-limit", type=float, default=None, metavar="SEC",
                         help="wall-clock budget in seconds per engine run — "
-                             "the portfolio grants it to each member in turn "
+                             "the sequential portfolio grants it to each "
+                             "member in turn, --race to all concurrently "
                              "(default: none)")
     parser.add_argument("--no-validate", action="store_true",
                         help="skip replaying counterexample traces on the model")
@@ -111,11 +120,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 3
 
+    if args.race and args.engine != "portfolio":
+        parser.print_usage(sys.stderr)
+        print("error: --race requires --engine portfolio", file=sys.stderr)
+        return 3
+    if args.jobs is not None:
+        if not args.race:
+            parser.print_usage(sys.stderr)
+            print("error: --jobs only applies to --race", file=sys.stderr)
+            return 3
+        if args.jobs < 0:
+            parser.print_usage(sys.stderr)
+            print("error: --jobs must be >= 0 (0 = all cores)",
+                  file=sys.stderr)
+            return 3
+
     options = EngineOptions(max_bound=args.max_bound,
                             time_limit=args.time_limit,
                             validate_traces=not args.no_validate)
     if args.engine == "portfolio":
-        result = Portfolio(options=options).run_first_solved(model)
+        result = Portfolio(options=options).run_first_solved(
+            model, parallel=args.race, jobs=args.jobs)
     else:
         result = run_engine(args.engine, model, options)
     _print_result(result, args)

@@ -75,12 +75,19 @@ def initial_states_predicate(model: Model) -> int:
 
 
 def implies(aig: Aig, antecedent: int, consequent: int,
-            budget: Optional[Budget] = None) -> bool:
+            budget: Optional[Budget] = None,
+            on_stats: Optional[callable] = None) -> bool:
     """Decide ``antecedent ⇒ consequent`` for two predicates in the same AIG.
 
     Both predicates are interpreted over the same (free) leaf valuation, so
     the check encodes the cones with a shared Tseitin instance and asks
     whether ``antecedent ∧ ¬consequent`` is satisfiable.
+
+    ``on_stats`` receives the throwaway solver's :class:`SolverStats` after
+    the solve.  Engines use it to fold the containment-check work into
+    their accounting: on interpolant-heavy runs the Tseitin encoding of the
+    cones is a dominant cost, and leaving it uncounted would let a run
+    evade every deterministic resource budget.
     """
     solver = CdclSolver()
     encoder = TseitinEncoder(aig, solver.new_var,
@@ -91,6 +98,8 @@ def implies(aig: Aig, antecedent: int, consequent: int,
     solver.add_clause([a_lit])
     solver.add_clause([-c_lit])
     result = solver.solve(budget=budget)
+    if on_stats is not None:
+        on_stats(solver.stats)
     if result is SatResult.UNKNOWN:
         raise OutOfBudget()
     return result is SatResult.UNSAT
@@ -144,25 +153,61 @@ class UmcEngine:
         call = solver.last_call_stats
         self.stats.clauses_added += call.clauses_added
         self.stats.conflicts += call.conflicts
+        self.stats.propagations += call.propagations
         self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
                                             call.conflicts)
         if result is SatResult.UNKNOWN:
             raise OutOfBudget(self._current_bound)
+        # The deterministic budgets: unlike the wall clock, cumulative
+        # solver counters trip at the same query on every machine, so
+        # resource-bounded runs (and their artefacts) stay reproducible.
+        # Clause additions bind on encoding-heavy runs, propagations on
+        # search-heavy ones; both are checked after each completed call
+        # (here and in _implies, whose throwaway solvers feed the same
+        # counters).
+        if (self.options.max_clauses is not None
+                and self.stats.clauses_added > self.options.max_clauses):
+            raise OutOfBudget(self._current_bound)
+        if (self.options.max_propagations is not None
+                and self.stats.propagations > self.options.max_propagations):
+            raise OutOfBudget(self._current_bound)
         return result
 
     def _implies(self, antecedent: int, consequent: int, aig: Optional[Aig] = None) -> bool:
-        """Containment check counted in the engine statistics."""
+        """Containment check counted in the engine statistics.
+
+        The throwaway solver's clause and propagation counters fold into
+        the run's cumulative statistics: the Tseitin encoding of large
+        interpolant cones is a real — on interpolant-heavy runs dominant —
+        cost, and the deterministic budgets must see it or a blowing-up
+        run would never trip them.
+        """
         self._check_budget()
         self.stats.containment_checks += 1
         started = time.monotonic()
+
+        def account(solver_stats) -> None:
+            self.stats.clauses_added += solver_stats.clauses_added
+            self.stats.conflicts += solver_stats.conflicts
+            self.stats.propagations += solver_stats.propagations
+            self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
+                                                solver_stats.conflicts)
+
         try:
-            return implies(aig or self.aig, antecedent, consequent,
-                           budget=self._sat_budget())
+            result = implies(aig or self.aig, antecedent, consequent,
+                             budget=self._sat_budget(), on_stats=account)
         except OutOfBudget:
             raise OutOfBudget(self._current_bound)
         finally:
             self.stats.sat_time += time.monotonic() - started
             self.stats.sat_calls += 1
+        if (self.options.max_clauses is not None
+                and self.stats.clauses_added > self.options.max_clauses):
+            raise OutOfBudget(self._current_bound)
+        if (self.options.max_propagations is not None
+                and self.stats.propagations > self.options.max_propagations):
+            raise OutOfBudget(self._current_bound)
+        return result
 
     def _note_interpolant(self, aig: Aig, itp_lit: int) -> None:
         self.stats.itp_extractions += 1

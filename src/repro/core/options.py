@@ -30,6 +30,24 @@ class EngineOptions:
         it yields an ``OVERFLOW`` verdict, mirroring the paper's *ovf*.
     conflict_limit:
         Per-SAT-call conflict budget; ``None`` disables it.
+    max_clauses:
+        Deterministic resource budget: total clause additions across every
+        SAT call of the run (the counter behind ``EngineStats.clauses_added``).
+        Exceeding it yields ``OVERFLOW`` exactly like the wall-clock limit,
+        but at a machine-independent point — the committed benchmark
+        artefacts are regenerated under this budget instead of a time limit
+        so that reruns on any hardware (and at any ``jobs`` count) produce
+        byte-identical tables.  Binds on the *encoding-heavy* failure mode
+        (re-unrolling a deep circuit per bound).  ``None`` disables it.
+    max_propagations:
+        Deterministic resource budget: total unit propagations across every
+        SAT call of the run.  Propagations are the classic deterministic
+        effort proxy (cf. kissat's "ticks"): they track wall-clock time far
+        more closely than conflicts or clauses, so this budget binds on the
+        *search-heavy* failure mode (exact-k checks whose formulas stay
+        small but hard) that ``max_clauses`` never catches.  Same
+        ``OVERFLOW`` semantics, same machine-independence.  ``None``
+        disables it.
     bmc_check:
         Which BMC formulation the sequence engines use for their main check
         (``ASSUME`` by default, per Section III; ``EXACT`` reproduces the
@@ -68,6 +86,8 @@ class EngineOptions:
     max_bound: int = 30
     time_limit: Optional[float] = None
     conflict_limit: Optional[int] = None
+    max_clauses: Optional[int] = None
+    max_propagations: Optional[int] = None
     bmc_check: BmcCheckKind = BmcCheckKind.ASSUME
     itp_system: str = "mcmillan"
     incremental_cex_search: bool = True
@@ -95,6 +115,10 @@ class EngineOptions:
                 f"got {self.cba_initial_visible!r}")
         if self.cba_refine_batch < 1:
             raise ValueError("cba_refine_batch must be at least 1")
+        if self.max_clauses is not None and self.max_clauses < 1:
+            raise ValueError("max_clauses must be at least 1 (or None)")
+        if self.max_propagations is not None and self.max_propagations < 1:
+            raise ValueError("max_propagations must be at least 1 (or None)")
         if self.pdr_gen_budget < 0:
             raise ValueError("pdr_gen_budget must be non-negative")
         if self.pdr_push_period < 1:

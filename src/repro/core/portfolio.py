@@ -1,4 +1,4 @@
-"""A tiny sequential portfolio over the five engines.
+"""A portfolio over the five engines: sequential turns or a true race.
 
 The paper positions ITPSEQ (and its serial / CBA variants) as "an
 additional engine within a potential portfolio of available MC techniques"
@@ -11,6 +11,15 @@ engines refute ever-deeper unrollings, PDR strengthens relative-inductive
 frames over a single transition copy, and the two families dominate on
 different instances (deep diameters with easy inductive invariants favour
 PDR; shallow convergence with hard local reasoning favours interpolation).
+
+Real portfolios *race*: with ``parallel=True`` both entry points run every
+member in its own worker process (:mod:`repro.parallel`), so a portfolio
+pays the *minimum* of its members' runtimes instead of their sum —
+``run_first_solved`` cancels the losers the moment one engine returns a
+definitive PASS/FAIL, while ``run_all`` joins all workers and keeps its
+cross-engine disagreement check.  The verdict is identical to the
+sequential mode (every member answers the same decision problem); only the
+identity of the engine that happened to answer first may differ.
 """
 
 from __future__ import annotations
@@ -61,11 +70,23 @@ class Portfolio:
             raise KeyError(f"unknown engines: {unknown}")
         self.options = options or EngineOptions()
 
-    def run_first_solved(self, model: Model) -> VerificationResult:
-        """Run engines in order; return the first PASS/FAIL answer.
+    def run_first_solved(self, model: Model, parallel: bool = False,
+                         jobs: Optional[int] = None) -> VerificationResult:
+        """Return the first definitive PASS/FAIL answer.
 
-        If nothing solves the instance, the last result is returned.
+        Sequentially (the default) the engines take turns in registry
+        order.  With ``parallel=True`` they race in worker processes and
+        the losers are cancelled as soon as one returns a definitive
+        answer — first-result-wins, with ties broken deterministically by
+        registry order (``jobs`` caps the concurrent workers; default one
+        per engine).  If nothing solves the instance, the last engine's
+        result is returned in both modes.
         """
+        if parallel:
+            from ..parallel import race_engines  # deferred: import cycle
+            outcome = race_engines(model, self.engine_names, self.options,
+                                   jobs=jobs, first_result_wins=True)
+            return outcome.result
         last: Optional[VerificationResult] = None
         for name in self.engine_names:
             result = run_engine(name, model, self.options)
@@ -75,11 +96,25 @@ class Portfolio:
         assert last is not None
         return last
 
-    def run_all(self, model: Model) -> Dict[str, VerificationResult]:
-        """Run every engine and return all results keyed by engine name."""
+    def run_all(self, model: Model, parallel: bool = False,
+                jobs: Optional[int] = None) -> Dict[str, VerificationResult]:
+        """Run every engine and return all results keyed by engine name.
+
+        With ``parallel=True`` the engines run concurrently but *all* of
+        them are joined (no cancellation): this mode exists for the
+        cross-engine comparison, so every member's answer is collected and
+        the disagreement check below applies to exactly the same set of
+        results as in the sequential mode.
+        """
         results: Dict[str, VerificationResult] = {}
-        for name in self.engine_names:
-            results[name] = run_engine(name, model, self.options)
+        if parallel:
+            from ..parallel import race_engines  # deferred: import cycle
+            outcome = race_engines(model, self.engine_names, self.options,
+                                   jobs=jobs, first_result_wins=False)
+            results = outcome.results
+        else:
+            for name in self.engine_names:
+                results[name] = run_engine(name, model, self.options)
         verdicts = {r.verdict for r in results.values() if r.solved}
         if len(verdicts) > 1:
             raise RuntimeError(

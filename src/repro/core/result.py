@@ -35,11 +35,13 @@ class Verdict(enum.Enum):
 class EngineStats:
     """Aggregate counters accumulated during a run.
 
-    ``clauses_added`` and ``conflicts`` are *cumulative* across every SAT
-    call routed through the engine's accounting (the incremental
-    counterexample search plus the proof-logged refutation checks);
-    ``max_call_conflicts`` is the *per-call* peak, so Fig. 6/7 records can
-    report both the total solver work and the hardest single query.
+    ``clauses_added``, ``conflicts`` and ``propagations`` are *cumulative*
+    across every SAT call routed through the engine's accounting (the
+    incremental counterexample search plus the proof-logged refutation
+    checks); ``max_call_conflicts`` is the *per-call* peak, so Fig. 6/7
+    records can report both the total solver work and the hardest single
+    query.  ``propagations`` is the deterministic effort proxy closest to
+    wall clock (and the counter behind ``EngineOptions.max_propagations``).
 
     ``blocked_cubes`` and ``clauses_pushed`` are populated by the PDR
     engine only (frame clauses learned, and how many of them the
@@ -57,6 +59,7 @@ class EngineStats:
     containment_checks: int = 0
     clauses_added: int = 0
     conflicts: int = 0
+    propagations: int = 0
     max_call_conflicts: int = 0
     blocked_cubes: int = 0
     clauses_pushed: int = 0
@@ -72,6 +75,7 @@ class EngineStats:
             "containment_checks": self.containment_checks,
             "clauses_added": self.clauses_added,
             "conflicts": self.conflicts,
+            "propagations": self.propagations,
             "max_call_conflicts": self.max_call_conflicts,
             "blocked_cubes": self.blocked_cubes,
             "clauses_pushed": self.clauses_pushed,

@@ -1,13 +1,28 @@
 """Experiment harness regenerating the paper's Table I, Fig. 6 and Fig. 7."""
 
-from .fig6 import fig6_series, fig6_summary, render_fig6, run_fig6
+from .fig6 import fig6_clause_series, fig6_series, fig6_summary, render_fig6, run_fig6
 from .fig7 import Fig7Point, render_fig7, run_fig7
 from .records import EngineRecord, InstanceRecord
-from .render import ascii_curves, ascii_scatter, format_csv, format_table
+from .render import (
+    ascii_curves,
+    ascii_scatter,
+    drop_time_columns,
+    format_csv,
+    format_table,
+)
 from .runner import ExperimentRunner, HarnessConfig
-from .table1 import TABLE1_ENGINES, render_table1, run_table1, table1_headers, table1_rows
+from .table1 import (
+    TABLE1_ENGINES,
+    render_table1,
+    run_table1,
+    table1_deterministic_headers,
+    table1_deterministic_rows,
+    table1_headers,
+    table1_rows,
+)
 
 __all__ = [
+    "fig6_clause_series",
     "fig6_series",
     "fig6_summary",
     "render_fig6",
@@ -19,6 +34,7 @@ __all__ = [
     "InstanceRecord",
     "ascii_curves",
     "ascii_scatter",
+    "drop_time_columns",
     "format_csv",
     "format_table",
     "ExperimentRunner",
@@ -26,6 +42,8 @@ __all__ = [
     "TABLE1_ENGINES",
     "render_table1",
     "run_table1",
+    "table1_deterministic_headers",
+    "table1_deterministic_rows",
     "table1_headers",
     "table1_rows",
 ]

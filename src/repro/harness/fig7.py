@@ -5,17 +5,31 @@ ITPSEQ engine when its BMC checks use the exact-k formulation (x axis)
 against the assume-k formulation (y axis); points below the diagonal mean
 assume-k wins, which the paper reports for almost every benchmark
 (Section III / Section VI).
+
+Every point also carries the two runs' cumulative solver counters.  The
+committed artefact compares *conflicts* — the deterministic form of the
+paper's "assume-k yields easier SAT instances" claim (clause additions go
+the other way: assume-k asserts every bound's bad cone, so it *encodes*
+more while *searching* far less).  The wall-clock scatter goes to the
+untracked timing artefact — two runs of the same code never reproduce it
+exactly, whereas the counters always do.
+
+``run_fig7(jobs=N)`` fans the (instance × check-kind) cells out over a
+worker pool; the merge is order-preserving, so the points come back in
+suite order with both configurations attached regardless of completion
+order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from ..bmc.checks import BmcCheckKind
-from ..circuits.suite import SuiteInstance, full_suite
+from ..circuits.suite import SuiteInstance, full_suite, get_instance
 from ..core.options import EngineOptions
 from ..core.portfolio import run_engine
+from ..parallel import parallel_map
 from .render import ascii_scatter, format_csv, format_table
 
 __all__ = ["Fig7Point", "run_fig7", "render_fig7"]
@@ -23,37 +37,85 @@ __all__ = ["Fig7Point", "run_fig7", "render_fig7"]
 
 @dataclass
 class Fig7Point:
-    """One benchmark's (exact-k time, assume-k time) pair."""
+    """One benchmark's exact-k vs assume-k comparison."""
 
     name: str
     exact_time: float
     assume_time: float
     exact_verdict: str
     assume_verdict: str
+    exact_clauses: int = 0
+    assume_clauses: int = 0
+    exact_conflicts: int = 0
+    assume_conflicts: int = 0
 
     @property
     def assume_wins(self) -> bool:
         return self.assume_time <= self.exact_time
 
+    @property
+    def assume_wins_conflicts(self) -> bool:
+        """The deterministic form of the win: less search effort.
+
+        Conflicts, not clause additions — assume-k deliberately *encodes*
+        more (every bound's bad cone is asserted) to make each query
+        *easier*, which is the paper's Section III argument.
+        """
+        return self.assume_conflicts <= self.exact_conflicts
+
+
+def _run_fig7_cell(spec):
+    """One (instance, check-kind) run; module-level so workers can pickle it."""
+    name, engine, kind_value, time_limit, max_bound, max_clauses, \
+        max_propagations = spec
+    options = EngineOptions(max_bound=max_bound, time_limit=time_limit,
+                            max_clauses=max_clauses,
+                            max_propagations=max_propagations,
+                            bmc_check=BmcCheckKind(kind_value))
+    result = run_engine(engine, get_instance(name).build(), options)
+    return (result.time_seconds, result.verdict.value,
+            result.stats.clauses_added, result.stats.conflicts)
+
 
 def run_fig7(instances: Optional[Iterable[SuiteInstance]] = None,
-             time_limit: float = 60.0, max_bound: int = 30,
+             time_limit: Optional[float] = 60.0, max_bound: int = 30,
              engine: str = "itpseq",
+             max_clauses: Optional[int] = None,
+             max_propagations: Optional[int] = None,
+             jobs: Optional[int] = 1,
              progress: Optional[callable] = None) -> List[Fig7Point]:
-    """Run the ITPSEQ engine twice per instance (exact-k, then assume-k)."""
+    """Run the engine twice per instance (exact-k, then assume-k).
+
+    Instances must come from the registry suite: every cell — serial or
+    pooled — rebuilds its model via :func:`~repro.circuits.suite.get_instance`
+    so the two code paths cannot drift apart.
+    """
+    instances = list(instances) if instances is not None else full_suite()
+    for instance in instances:
+        try:
+            registered = get_instance(instance.name)
+        except KeyError:
+            registered = None
+        if registered is None or registered.expected != instance.expected:
+            raise ValueError(
+                f"run_fig7 requires registry suite instances (cells rebuild "
+                f"models by name, serial or pooled); {instance.name!r} is "
+                f"not from circuits.suite")
+    kinds = (BmcCheckKind.EXACT, BmcCheckKind.ASSUME)
+    specs = [(instance.name, engine, kind.value, time_limit, max_bound,
+              max_clauses, max_propagations)
+             for instance in instances for kind in kinds]
+    cells = parallel_map(_run_fig7_cell, specs, jobs=jobs)
     points: List[Fig7Point] = []
-    for instance in instances if instances is not None else full_suite():
-        results = {}
-        for kind in (BmcCheckKind.EXACT, BmcCheckKind.ASSUME):
-            options = EngineOptions(max_bound=max_bound, time_limit=time_limit,
-                                    bmc_check=kind)
-            results[kind] = run_engine(engine, instance.build(), options)
+    for index, instance in enumerate(instances):
+        exact = cells[2 * index]
+        assume = cells[2 * index + 1]
         point = Fig7Point(
             name=instance.name,
-            exact_time=results[BmcCheckKind.EXACT].time_seconds,
-            assume_time=results[BmcCheckKind.ASSUME].time_seconds,
-            exact_verdict=results[BmcCheckKind.EXACT].verdict.value,
-            assume_verdict=results[BmcCheckKind.ASSUME].verdict.value,
+            exact_time=exact[0], assume_time=assume[0],
+            exact_verdict=exact[1], assume_verdict=assume[1],
+            exact_clauses=exact[2], assume_clauses=assume[2],
+            exact_conflicts=exact[3], assume_conflicts=assume[3],
         )
         points.append(point)
         if progress is not None:
@@ -61,8 +123,34 @@ def run_fig7(instances: Optional[Iterable[SuiteInstance]] = None,
     return points
 
 
-def render_fig7(points: Sequence[Fig7Point], as_csv: bool = False) -> str:
-    """Render the scatter plot, the per-instance data and the win counts."""
+def render_fig7(points: Sequence[Fig7Point], as_csv: bool = False,
+                deterministic: bool = False) -> str:
+    """Render the scatter plot, the per-instance data and the win counts.
+
+    ``deterministic=True`` renders the conflict-count comparison (the
+    committed artefact); the default renders the paper's wall-clock form.
+    """
+    if deterministic:
+        headers = ["name", "exact_conflicts", "assume_conflicts",
+                   "exact_clauses", "assume_clauses", "exact_verdict",
+                   "assume_verdict", "assume_wins_conflicts"]
+        rows = [[p.name, p.exact_conflicts, p.assume_conflicts,
+                 p.exact_clauses, p.assume_clauses,
+                 p.exact_verdict, p.assume_verdict, p.assume_wins_conflicts]
+                for p in points]
+        if as_csv:
+            return format_csv(headers, rows)
+        wins = sum(1 for p in points if p.assume_wins_conflicts)
+        parts = [
+            "Fig. 7 (deterministic form) — ITPSEQ search effort, "
+            "exact-k (x) vs assume-k (y) checks",
+            ascii_scatter([(float(p.exact_conflicts), float(p.assume_conflicts))
+                           for p in points],
+                          x_label="exact-k conflicts", y_label="assume-k conflicts"),
+            format_table(headers, rows, title="per-instance solver counters"),
+            f"assume-k needs at most as many conflicts on {wins}/{len(points)} instances",
+        ]
+        return "\n\n".join(parts)
     headers = ["name", "exact_time", "assume_time", "exact_verdict",
                "assume_verdict", "assume_wins"]
     rows = [[p.name, round(p.exact_time, 3), round(p.assume_time, 3),

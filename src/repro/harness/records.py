@@ -35,6 +35,7 @@ class EngineRecord:
     refinements: int = 0
     clauses_added: int = 0
     conflicts: int = 0
+    propagations: int = 0
     max_call_conflicts: int = 0
     blocked_cubes: int = 0
     clauses_pushed: int = 0
@@ -52,6 +53,7 @@ class EngineRecord:
             refinements=result.stats.refinements,
             clauses_added=result.stats.clauses_added,
             conflicts=result.stats.conflicts,
+            propagations=result.stats.propagations,
             max_call_conflicts=result.stats.max_call_conflicts,
             blocked_cubes=result.stats.blocked_cubes,
             clauses_pushed=result.stats.clauses_pushed,
@@ -73,10 +75,24 @@ class EngineRecord:
             "refinements": self.refinements,
             "clauses_added": self.clauses_added,
             "conflicts": self.conflicts,
+            "propagations": self.propagations,
             "max_call_conflicts": self.max_call_conflicts,
             "blocked_cubes": self.blocked_cubes,
             "clauses_pushed": self.clauses_pushed,
         }
+
+    def as_deterministic_dict(self) -> Dict[str, object]:
+        """Everything in :meth:`as_dict` that reruns reproduce exactly.
+
+        Drops the measured wall-clock time — the one field that differs
+        between a ``jobs=1`` and a ``jobs=N`` run (or between two machines).
+        Equality of these projections is the harness's definition of
+        "bit-identical records", asserted by ``tests/parallel/`` and by the
+        CI staleness gate over the committed artefacts.
+        """
+        row = self.as_dict()
+        del row["time"]
+        return row
 
 
 @dataclass
@@ -124,4 +140,27 @@ class InstanceRecord:
             row[f"{engine}_j_fp"] = record.j_fp
             row[f"{engine}_clauses"] = record.clauses_added
             row[f"{engine}_max_call_conflicts"] = record.max_call_conflicts
+        return row
+
+    def as_deterministic_dict(self) -> Dict[str, object]:
+        """The machine- and job-count-independent projection of the row.
+
+        BDD diameters and statuses stay (they are exact); every measured
+        time goes.  Two suite runs — serial vs. pooled, laptop vs. CI —
+        must produce equal lists of these dicts or something real broke.
+        """
+        row: Dict[str, object] = {
+            "name": self.name,
+            "category": self.category,
+            "expected": self.expected,
+            "PI": self.num_inputs,
+            "FF": self.num_latches,
+        }
+        if self.bdd is not None:
+            row.update({"bdd_status": self.bdd.status,
+                        "d_F": self.bdd.d_f, "d_B": self.bdd.d_b})
+        for engine, record in self.engines.items():
+            for key, value in record.as_deterministic_dict().items():
+                if key != "engine":
+                    row[f"{engine}_{key}"] = value
         return row

@@ -9,7 +9,27 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["format_table", "format_csv", "ascii_scatter", "ascii_curves"]
+__all__ = ["format_table", "format_csv", "ascii_scatter", "ascii_curves",
+           "drop_time_columns"]
+
+
+def drop_time_columns(headers: Sequence[str],
+                      rows: Iterable[Sequence[object]]) -> Tuple[List[str], List[List[object]]]:
+    """Project a table onto its machine-independent columns.
+
+    Any column whose header mentions ``time`` (``Time_F``, ``itp.Time``,
+    ``sat_time``, …) is measured wall clock and differs between two runs of
+    the very same code; everything else — verdicts, depths, solver counters
+    — is deterministic.  The committed ``benchmarks/results/`` artefacts are
+    rendered through this projection so the CI staleness gate
+    (``git diff --exit-code``) can compare regenerated tables byte for
+    byte; the full tables including times go to the untracked
+    ``results/timing/`` directory instead.
+    """
+    keep = [i for i, h in enumerate(headers) if "time" not in h.lower()]
+    kept_headers = [headers[i] for i in keep]
+    kept_rows = [[row[i] for i in keep] for row in rows]
+    return kept_headers, kept_rows
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],

@@ -17,8 +17,9 @@ from .records import InstanceRecord
 from .render import format_csv, format_table
 from .runner import ExperimentRunner, HarnessConfig
 
-__all__ = ["TABLE1_ENGINES", "table1_headers", "table1_rows", "render_table1",
-           "run_table1"]
+__all__ = ["TABLE1_ENGINES", "table1_headers", "table1_rows",
+           "table1_deterministic_headers", "table1_deterministic_rows",
+           "render_table1", "run_table1"]
 
 TABLE1_ENGINES = ("itp", "itpseq", "sitpseq", "itpseqcba", "pdr")
 
@@ -57,18 +58,71 @@ def table1_rows(records: Iterable[InstanceRecord],
     return rows
 
 
+def table1_deterministic_headers(engines: Sequence[str] = TABLE1_ENGINES) -> List[str]:
+    """Headers of the machine-independent Table I variant.
+
+    No wall-clock columns; instead each engine reports its verdict and the
+    cumulative clause additions (the deterministic effort measure this repo
+    judges performance by).  The overflow bound ``k_fp`` stays meaningful
+    because artefact runs budget on ``max_clauses``, which trips at the
+    same query everywhere.
+    """
+    headers = ["Name", "#PI", "#FF", "bdd", "d_F", "d_B"]
+    for engine in engines:
+        headers += [f"{engine}.verdict", f"{engine}.k_fp", f"{engine}.j_fp",
+                    f"{engine}.clauses"]
+    return headers
+
+
+def table1_deterministic_rows(records: Iterable[InstanceRecord],
+                              engines: Sequence[str] = TABLE1_ENGINES) -> List[List[object]]:
+    rows: List[List[object]] = []
+    for record in records:
+        row: List[object] = [record.name, record.num_inputs, record.num_latches]
+        if record.bdd is None or record.bdd.status == "overflow":
+            row += ["ovf", None, None]
+        else:
+            row += [record.bdd.status, record.bdd.d_f, record.bdd.d_b]
+        for engine in engines:
+            engine_record = record.engine_record(engine)
+            if engine_record is None:
+                row += ["-", None, None, None]
+            elif not engine_record.solved:
+                bound = (f"({engine_record.k_fp})"
+                         if engine_record.k_fp is not None else "(-)")
+                row += [engine_record.verdict, bound, None,
+                        engine_record.clauses_added]
+            else:
+                row += [engine_record.verdict, engine_record.k_fp,
+                        engine_record.j_fp, engine_record.clauses_added]
+        rows.append(row)
+    return rows
+
+
 def render_table1(records: Iterable[InstanceRecord],
                   engines: Sequence[str] = TABLE1_ENGINES,
-                  as_csv: bool = False) -> str:
-    """Render Table I as text (or CSV)."""
+                  as_csv: bool = False, deterministic: bool = False) -> str:
+    """Render Table I as text (or CSV).
+
+    ``deterministic=True`` renders the machine-independent variant (the
+    committed-artefact / CI-staleness-gate form: verdicts, depth pairs and
+    clause counters, no wall clock — identical across machines and ``jobs``
+    counts); the default keeps the paper's full layout with times.
+    """
     records = list(records)
-    headers = table1_headers(engines)
-    rows = table1_rows(records, engines)
+    if deterministic:
+        headers = table1_deterministic_headers(engines)
+        rows = table1_deterministic_rows(records, engines)
+        title = ("Table I (deterministic columns) — verdicts, depth pairs, "
+                 "clause additions; ovf bound in brackets")
+    else:
+        headers = table1_headers(engines)
+        rows = table1_rows(records, engines)
+        title = ("Table I — performance comparison "
+                 "(times in seconds; ovf = budget exceeded)")
     if as_csv:
         return format_csv(headers, rows)
-    return format_table(headers, rows,
-                        title="Table I — performance comparison "
-                              "(times in seconds; ovf = budget exceeded)")
+    return format_table(headers, rows, title=title)
 
 
 def run_table1(instances: Optional[Iterable[SuiteInstance]] = None,

@@ -1,0 +1,29 @@
+"""Process-parallel execution: racing portfolios and multi-core harness runs.
+
+The paper frames ITPSEQ as "an additional engine within a potential
+portfolio of available MC techniques" (Section IV) — and real portfolios
+*race* their members instead of taking turns.  This subsystem provides the
+two process-level primitives the rest of the system builds on:
+
+* :func:`parallel_map` — a deterministic, order-preserving map over a
+  ``multiprocessing`` worker pool.  The experiment harness fans
+  engine × instance cells out over it (``HarnessConfig(jobs=N)``) and
+  merges the records back in suite order, so the Fig. 6 / Fig. 7 / Table I
+  artefacts are identical to a serial run at any job count.
+* :func:`race_engines` — run several engines on one model in worker
+  processes and cancel the losers the moment a definitive PASS/FAIL
+  arrives (``Portfolio.run_first_solved(parallel=True)``), or join all of
+  them when every answer is wanted (``Portfolio.run_all(parallel=True)``).
+
+Workers never ship solvers or engine state across the process boundary:
+they receive a pickled :class:`~repro.aig.model.Model` (a pure-data AIG)
+or a suite instance *name* and rebuild everything locally.  Results travel
+back as plain :class:`~repro.core.result.VerificationResult` /
+:class:`~repro.harness.records.EngineRecord` values, all of which are
+pickle-safe by construction (covered by ``tests/parallel/test_pickle.py``).
+"""
+
+from .pool import parallel_map, resolve_jobs
+from .race import RaceOutcome, race_engines
+
+__all__ = ["parallel_map", "resolve_jobs", "race_engines", "RaceOutcome"]

@@ -53,6 +53,29 @@ def test_frame_limit_exhaustion_exits_two(unsafe_aag):
     assert main([unsafe_aag, "--engine", "pdr", "--max-bound", "1"]) == 2
 
 
+def test_race_flag_races_the_portfolio(safe_aag, unsafe_aag, capsys):
+    assert main([safe_aag, "--engine", "portfolio", "--race"]) == 0
+    assert "pass" in capsys.readouterr().out.lower()
+    assert main([unsafe_aag, "--engine", "portfolio", "--race",
+                 "--jobs", "2"]) == 1
+    assert "fail" in capsys.readouterr().out.lower()
+
+
+def test_race_without_portfolio_is_usage_error(safe_aag, capsys):
+    assert main([safe_aag, "--engine", "pdr", "--race"]) == 3
+    assert "--race requires" in capsys.readouterr().err
+
+
+def test_jobs_flag_is_validated(safe_aag, capsys):
+    # --jobs without --race is silently meaningless; reject it loudly.
+    assert main([safe_aag, "--engine", "portfolio", "--jobs", "2"]) == 3
+    assert "--jobs only applies" in capsys.readouterr().err
+    # Negative job counts are a usage error (3), never a traceback.
+    assert main([safe_aag, "--engine", "portfolio", "--race",
+                 "--jobs", "-1"]) == 3
+    assert "--jobs must be" in capsys.readouterr().err
+
+
 def test_missing_file_is_usage_error(capsys):
     assert main([]) == 3
     assert "required" in capsys.readouterr().err
