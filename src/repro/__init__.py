@@ -25,6 +25,11 @@ The package provides, in pure Python:
   IC3/PDR engine (:mod:`repro.pdr`), the portfolio's structurally
   different prover: unbounded proofs from relative-inductive frames on a
   single persistent solver, with no unrolling at all;
+* a model-preprocessing pipeline (:mod:`repro.preprocess`): composable
+  passes — cone-of-influence reduction, ternary-simulation stuck-latch
+  sweeping, structural rewriting, CNF-level bounded variable elimination —
+  run by every engine before any encoding, with counterexample lift-back
+  to the original variables;
 * a BDD engine for exact reachability and circuit diameters
   (:mod:`repro.bdd`);
 * synthetic benchmark circuits and the experiment harness regenerating the
@@ -42,6 +47,7 @@ Quickstart
 
 from .aig import Aig, AigBuilder, Model, read_aag, write_aag
 from .bmc import BmcCheckKind, BmcEngine, IncrementalUnroller, Trace
+from .preprocess import ModelMap, Pipeline, build_pipeline
 from .core import (
     ENGINES,
     EngineOptions,
@@ -69,6 +75,9 @@ __all__ = [
     "BmcEngine",
     "IncrementalUnroller",
     "Trace",
+    "ModelMap",
+    "Pipeline",
+    "build_pipeline",
     "ENGINES",
     "EngineOptions",
     "ItpEngine",

@@ -6,7 +6,9 @@ Examples::
     python -m repro design.aig --engine itpseq --max-bound 40 --time-limit 60
     python -m repro design.aag --engine portfolio --stats
     python -m repro design.aag --engine portfolio --race --jobs 4
+    python -m repro design.aag --no-preprocess --stats
     python -m repro --list-engines
+    python -m repro --list-instances
 
 The file may be ASCII (``.aag``) or binary (``.aig``) AIGER — the variant
 is sniffed from the magic bytes, not the extension.  Exit status: 0 when
@@ -71,12 +73,23 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(default: none)")
     parser.add_argument("--no-validate", action="store_true",
                         help="skip replaying counterexample traces on the model")
+    parser.add_argument("--preprocess", dest="preprocess", action="store_true",
+                        default=True,
+                        help="run the model-preprocessing pipeline before "
+                             "the engine (COI + sweeping + rewriting + CNF "
+                             "elimination; the default)")
+    parser.add_argument("--no-preprocess", dest="preprocess",
+                        action="store_false",
+                        help="encode the raw circuit without preprocessing")
     parser.add_argument("--stats", action="store_true",
                         help="print the engine's statistics counters")
     parser.add_argument("--trace", action="store_true",
                         help="print the counterexample input trace on FAIL")
     parser.add_argument("--list-engines", action="store_true",
                         help="list the registered engines and exit")
+    parser.add_argument("--list-instances", action="store_true",
+                        help="list the registry benchmark suite (with "
+                             "circuit sizes) and exit")
     return parser
 
 
@@ -102,6 +115,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, engine_cls in ENGINES.items():
             doc = next(iter((engine_cls.__doc__ or "").strip().splitlines()), "")
             print(f"{name:12s} {doc}")
+        return 0
+    if args.list_instances:
+        from .circuits import full_suite  # deferred: only this mode needs it
+
+        for instance in full_suite():
+            model = instance.build()
+            sizes = model.stats()
+            depth = (f" depth={instance.expected_depth}"
+                     if instance.expected_depth is not None else "")
+            print(f"{instance.name:16s} {instance.category:10s} "
+                  f"{instance.expected:4s}{depth:9s} "
+                  f"PI={sizes['inputs']:<3d} FF={sizes['latches']:<3d} "
+                  f"AND={sizes['ands']:<4d} {instance.description}")
         return 0
     if args.file is None:
         parser.print_usage(sys.stderr)
@@ -137,7 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     options = EngineOptions(max_bound=args.max_bound,
                             time_limit=args.time_limit,
-                            validate_traces=not args.no_validate)
+                            validate_traces=not args.no_validate,
+                            preprocess=args.preprocess)
     if args.engine == "portfolio":
         result = Portfolio(options=options).run_first_solved(
             model, parallel=args.race, jobs=args.jobs)

@@ -164,7 +164,7 @@ class Model:
     # ------------------------------------------------------------------ #
     def reduced(self) -> "Model":
         """Return a cone-of-influence-reduced copy of the model."""
-        reduced_aig, _ = coi_reduce(self.aig, self.property_index)
+        reduced_aig, _, _ = coi_reduce(self.aig, self.property_index)
         return Model(reduced_aig, property_index=0, name=f"{self.name}_coi")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

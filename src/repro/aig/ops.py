@@ -139,12 +139,13 @@ def cone_of_influence(aig: Aig, roots: Iterable[int]) -> Tuple[Set[int], Set[int
     return inputs, latches
 
 
-def coi_reduce(aig: Aig, bad_index: int = 0) -> Tuple[Aig, Dict[int, int]]:
+def coi_reduce(aig: Aig, bad_index: int = 0) -> Tuple[Aig, Dict[int, int], Dict[int, int]]:
     """Build a new AIG containing only the sequential cone of one bad literal.
 
-    Returns the reduced AIG and a mapping ``old latch var -> new latch var``.
-    Inputs and latches outside the cone are dropped; the single bad literal of
-    the result is the copied property.
+    Returns the reduced AIG, a mapping ``old latch var -> new latch var`` and
+    a mapping ``old input var -> new input var``.  Inputs and latches outside
+    the cone are dropped; the single bad literal of the result is the copied
+    property.
     """
     if not aig.bad:
         raise ValueError("AIG has no bad literal to reduce against")
@@ -155,9 +156,12 @@ def coi_reduce(aig: Aig, bad_index: int = 0) -> Tuple[Aig, Dict[int, int]]:
     reduced = Aig(f"{aig.name}_coi")
     leaf_map: Dict[int, int] = {}
     latch_map: Dict[int, int] = {}
+    input_map: Dict[int, int] = {}
     for var in aig.input_vars():
         if var in input_vars:
-            leaf_map[var] = reduced.add_input(aig.input_name(var))
+            new_lit = reduced.add_input(aig.input_name(var))
+            leaf_map[var] = new_lit
+            input_map[var] = lit_var(new_lit)
     kept_latches = [latch for latch in aig.latches if latch.var in latch_vars]
     for latch in kept_latches:
         new_lit = reduced.add_latch(init=latch.init, name=latch.name)
@@ -170,7 +174,7 @@ def coi_reduce(aig: Aig, bad_index: int = 0) -> Tuple[Aig, Dict[int, int]]:
     reduced.add_bad(mapper.copy_lit(bad_lit), aig.bad_name(bad_index))
     for constraint in aig.constraints:
         reduced.add_constraint(mapper.copy_lit(constraint))
-    return reduced, latch_map
+    return reduced, latch_map, input_map
 
 
 def structural_levels(aig: Aig) -> Dict[int, int]:

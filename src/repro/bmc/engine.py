@@ -68,11 +68,34 @@ class BmcResult:
 
 
 class BmcEngine:
-    """Depth-by-depth bounded model checking."""
+    """Depth-by-depth bounded model checking.
+
+    With ``preprocess=True`` (the default) the engine unrolls the model
+    produced by the preprocessing pipeline (:mod:`repro.preprocess`) and
+    lifts any counterexample back to the original variables before
+    validating and reporting it; failure depths and verdicts are identical
+    either way.  The CNF-level pass is not consulted — BMC has no
+    containment checks, so only the model passes apply.
+    """
 
     def __init__(self, model: Model, check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
-                 validate_traces: bool = True, incremental: bool = True) -> None:
-        self.model = model
+                 validate_traces: bool = True, incremental: bool = True,
+                 preprocess: bool = True) -> None:
+        self.source_model = model
+        self._preprocess = None
+        self._preprocess_seconds = 0.0
+        if preprocess:
+            from ..preprocess.passes import build_pipeline  # deferred: cycle
+
+            # Model passes only: BMC has no containment checks, so arming
+            # the encoding-time CNF pass would be dead work.
+            started = time.monotonic()
+            self._preprocess = build_pipeline(
+                ("coi", "sweep", "coi", "rewrite")).run(model)
+            self._preprocess_seconds = time.monotonic() - started
+            self.model = self._preprocess.model
+        else:
+            self.model = model
         self.check_kind = check_kind
         self.validate_traces = validate_traces
         self.incremental = incremental
@@ -80,7 +103,9 @@ class BmcEngine:
     def check_initial_states(self) -> Optional[Trace]:
         """Return a depth-0 counterexample when an initial state is already bad."""
         trace, _ = self._initial_check()
-        return trace
+        if trace is None:
+            return None
+        return self._finish_trace(trace)
 
     def _initial_check(self) -> tuple:
         """Depth-0 check on a throwaway solver; returns ``(trace, stats)``."""
@@ -106,7 +131,9 @@ class BmcEngine:
     # ------------------------------------------------------------------ #
     def _run_incremental(self, max_depth: int, time_limit: Optional[float],
                          conflict_limit: Optional[int]) -> BmcResult:
-        start = time.monotonic()
+        # Construction-time preprocessing counts against this run's clock
+        # and budget (see UmcEngine.run for the same policy).
+        start = time.monotonic() - self._preprocess_seconds
         result = BmcResult(status="no_cex")
         unroller = IncrementalUnroller(self.model, check_kind=self.check_kind)
 
@@ -136,8 +163,7 @@ class BmcEngine:
                 result.checked_depth = depth - 1
                 break
             if answer is SatResult.SAT:
-                trace = unroller.extract_trace()
-                self._validate(trace)
+                trace = self._finish_trace(unroller.extract_trace())
                 result.status = "fail"
                 result.depth = depth
                 result.trace = trace
@@ -152,17 +178,16 @@ class BmcEngine:
     # ------------------------------------------------------------------ #
     def _run_monolithic(self, max_depth: int, time_limit: Optional[float],
                         conflict_limit: Optional[int]) -> BmcResult:
-        start = time.monotonic()
+        start = time.monotonic() - self._preprocess_seconds
         result = BmcResult(status="no_cex")
 
         trace, initial_stats = self._initial_check()
         result.sat_calls += 1
         self._account(result, 0, initial_stats)
         if trace is not None:
-            self._validate(trace)
             result.status = "fail"
             result.depth = 0
-            result.trace = trace
+            result.trace = self._finish_trace(trace)
             result.time_seconds = time.monotonic() - start
             return result
 
@@ -187,8 +212,7 @@ class BmcEngine:
                 result.checked_depth = depth - 1
                 break
             if answer is SatResult.SAT:
-                trace = unroller.extract_trace(depth)
-                self._validate(trace)
+                trace = self._finish_trace(unroller.extract_trace(depth))
                 result.status = "fail"
                 result.depth = depth
                 result.trace = trace
@@ -207,7 +231,11 @@ class BmcEngine:
         result.conflicts += stats.conflicts
         result.per_depth_clauses[depth] = stats.clauses_added
 
-    def _validate(self, trace: Trace) -> None:
-        if self.validate_traces and not trace.check(self.model):
+    def _finish_trace(self, trace: Trace) -> Trace:
+        """Lift a (possibly reduced-model) trace back and validate it."""
+        if self._preprocess is not None:
+            trace = self._preprocess.lift_trace(trace)
+        if self.validate_traces and not trace.check(self.source_model):
             raise RuntimeError(
                 "BMC produced a trace that does not replay on the concrete model")
+        return trace

@@ -5,6 +5,8 @@ from .generators import (
     controller_datapath,
     combination_lock,
     counter,
+    dead_cone_counter,
+    duplicated_pattern,
     gray_counter,
     modular_counter,
     mutual_exclusion,
@@ -12,6 +14,7 @@ from .generators import (
     pipeline_valid,
     round_robin_arbiter,
     shift_register_pattern,
+    stuck_gate_counter,
     token_ring,
     traffic_light,
 )
@@ -21,6 +24,8 @@ __all__ = [
     "controller_datapath",
     "combination_lock",
     "counter",
+    "dead_cone_counter",
+    "duplicated_pattern",
     "gray_counter",
     "modular_counter",
     "mutual_exclusion",
@@ -28,6 +33,7 @@ __all__ = [
     "pipeline_valid",
     "round_robin_arbiter",
     "shift_register_pattern",
+    "stuck_gate_counter",
     "token_ring",
     "traffic_light",
 ]
@@ -39,6 +45,7 @@ from .suite import (
     get_instance,
     industrial_suite,
     quick_suite,
+    redundant_suite,
 )
 
 __all__ += [
@@ -48,4 +55,5 @@ __all__ += [
     "get_instance",
     "industrial_suite",
     "quick_suite",
+    "redundant_suite",
 ]

@@ -41,6 +41,9 @@ __all__ = [
     "combination_lock",
     "parity_chain",
     "controller_datapath",
+    "dead_cone_counter",
+    "stuck_gate_counter",
+    "duplicated_pattern",
 ]
 
 
@@ -389,6 +392,138 @@ def parity_chain(length: int, buggy: bool = False,
     # equal to the shadow latch: a two-latch relational invariant.
     bad = builder.aig.op_xor(bits[0], shadow)
     builder.aig.add_bad(bad, "parity_mismatch")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def dead_cone_counter(width: int = 4, junk_latches: int = 8,
+                      target: Optional[int] = None,
+                      name: Optional[str] = None) -> Model:
+    """A small live counter dragging a large, property-irrelevant dead cone.
+
+    The live part is a counter that wraps at ``2**width - 1``; the property
+    checks ``count == target`` (``target=None`` picks the one unreachable
+    value, a passing property whose proof needs the wrap; smaller targets
+    fail at depth ``target``).  The dead part is a bank of ``junk_latches``
+    toggling latches on private inputs, mixed into a reduction tree that
+    feeds a primary *output* only — logic that every naive encoding pays
+    for and cone-of-influence reduction removes wholesale.
+    """
+    builder = AigBuilder(name or f"deadcone{width}x{junk_latches}")
+    modulus = (1 << width) - 1
+    if target is None:
+        target = modulus  # reachable values are 0 .. modulus-1
+    count = builder.register(width, init=0, name="count")
+    enable = builder.input_bit("enable")
+    wrap = builder.equals_const(count.q, modulus - 1)
+    stepped = builder.mux_word(wrap, builder.constant_word(width, 0),
+                               builder.increment(count.q))
+    builder.connect(count, builder.mux_word(enable, stepped, count.q))
+
+    junk = [builder.register_bit(init=0, name=f"junk{i}")
+            for i in range(junk_latches)]
+    mixed = TRUE
+    for i, bit in enumerate(junk):
+        toggle = builder.input_bit(f"jin{i}")
+        builder.connect_bit(bit, builder.aig.op_xor(bit, toggle))
+        mixed = builder.aig.add_and(mixed, builder.aig.op_xor(mixed, bit))
+    builder.aig.add_output(mixed, "junk_mix")
+
+    builder.aig.add_bad(builder.equals_const(count.q, target), "count_hits_target")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def stuck_gate_counter(width: int = 4, stuck: int = 4,
+                       target: Optional[int] = None,
+                       name: Optional[str] = None) -> Model:
+    """A counter whose property cone is polluted through provably-stuck latches.
+
+    ``stuck`` latches reset to 0 and reload as ``latch & input`` — they can
+    never leave 0, which ternary simulation proves.  Each gates a
+    free-toggling churn latch into a ``corrupt`` disjunction that is
+    OR-ed into the bad condition.  Plain cone-of-influence reduction keeps
+    everything (the corrupt network sits squarely in the property cone);
+    only after sweeping replaces the stuck latches by 0 does ``corrupt``
+    collapse and a second COI pass drop the churn latches and their inputs.
+    Verdict and depth semantics match :func:`dead_cone_counter`.
+    """
+    builder = AigBuilder(name or f"stuckgate{width}x{stuck}")
+    modulus = (1 << width) - 1
+    if target is None:
+        target = modulus
+    count = builder.register(width, init=0, name="count")
+    enable = builder.input_bit("enable")
+    wrap = builder.equals_const(count.q, modulus - 1)
+    stepped = builder.mux_word(wrap, builder.constant_word(width, 0),
+                               builder.increment(count.q))
+    builder.connect(count, builder.mux_word(enable, stepped, count.q))
+
+    corrupt = FALSE
+    for i in range(stuck):
+        latch = builder.register_bit(init=0, name=f"stuck{i}")
+        builder.connect_bit(latch, builder.aig.add_and(
+            latch, builder.input_bit(f"sin{i}")))
+        partner = builder.register_bit(init=0, name=f"churn{i}")
+        builder.connect_bit(partner, builder.aig.op_xor(
+            partner, builder.input_bit(f"cin{i}")))
+        corrupt = builder.aig.op_or(corrupt,
+                                    builder.aig.add_and(latch, partner))
+
+    hit = builder.equals_const(count.q, target)
+    builder.aig.add_bad(builder.aig.op_or(hit, corrupt), "count_or_corrupt")
+    return Model(builder.aig, name=builder.aig.name)
+
+
+def duplicated_pattern(length: int = 6, copies: int = 3, reachable: bool = False,
+                       name: Optional[str] = None) -> Model:
+    """A shift register whose pattern matcher is instantiated ``copies`` times.
+
+    Every copy computes the same full-register conjunction with a different
+    gate association (left chain, right chain, balanced tree, ...), so
+    structural hashing at build time cannot merge them; the rewriting
+    pass normalises all copies to one sorted chain and the duplicates
+    vanish.  With ``reachable=False`` the entry stage only accepts a 1 when
+    it currently holds a 0, so two adjacent 1s can never sit in the
+    register and the all-ones pattern is unreachable (the property passes,
+    with a one-step inductive argument — the latches are *not* stuck, so
+    sweeping cannot shortcut it); with ``reachable=True`` the serial input
+    is free and the property fails at depth exactly ``length``.
+    """
+    builder = AigBuilder(name or
+                         f"dup{length}x{copies}{'_sat' if reachable else ''}")
+    serial = builder.input_bit("serial")
+    bits = [builder.register_bit(init=0, name=f"sr{i}") for i in range(length)]
+    first = serial if reachable else builder.aig.add_and(serial,
+                                                         lit_negate(bits[0]))
+    builder.connect_bit(bits[0], first)
+    for i in range(1, length):
+        builder.connect_bit(bits[i], bits[i - 1])
+
+    def build_copy(order: List[int], balanced: bool) -> int:
+        if balanced:
+            level = [bits[i] for i in order]
+            while len(level) > 1:
+                paired = []
+                for j in range(0, len(level) - 1, 2):
+                    paired.append(builder.aig.add_and(level[j], level[j + 1]))
+                if len(level) % 2:
+                    paired.append(level[-1])
+                level = paired
+            return level[0]
+        out = TRUE
+        for i in order:
+            out = builder.aig.add_and(out, bits[i])
+        return out
+
+    matches = []
+    for copy_index in range(copies):
+        if copy_index % 3 == 0:
+            matches.append(build_copy(list(range(length)), balanced=False))
+        elif copy_index % 3 == 1:
+            matches.append(build_copy(list(reversed(range(length))),
+                                      balanced=False))
+        else:
+            matches.append(build_copy(list(range(length)), balanced=True))
+    builder.aig.add_bad(builder.aig.op_or(*matches), "pattern_seen")
     return Model(builder.aig, name=builder.aig.name)
 
 

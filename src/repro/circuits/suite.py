@@ -25,8 +25,8 @@ from typing import Callable, List, Optional
 from ..aig.model import Model
 from . import generators as gen
 
-__all__ = ["SuiteInstance", "academic_suite", "industrial_suite", "full_suite",
-           "quick_suite", "get_instance"]
+__all__ = ["SuiteInstance", "academic_suite", "industrial_suite",
+           "redundant_suite", "full_suite", "quick_suite", "get_instance"]
 
 
 @dataclass
@@ -164,9 +164,44 @@ def industrial_suite() -> List[SuiteInstance]:
     ]
 
 
+def redundant_suite() -> List[SuiteInstance]:
+    """Deliberately redundant designs — the preprocessing showcase block.
+
+    Each instance carries logic the property never observes (dead cones),
+    logic that is provably constant (stuck latches) or logic that is
+    duplicated under different gate associations; the preprocessing
+    pipeline removes 30%+ of the encoding on every one of them
+    (``benchmarks/results/preprocess_reduction.txt`` is the committed
+    per-pass account).
+    """
+    return [
+        SuiteInstance("red_dead08", lambda: gen.dead_cone_counter(4, 8),
+                      "pass", "redundant",
+                      description="mod-15 counter plus an 8-latch dead cone"),
+        SuiteInstance("red_dead08bug",
+                      lambda: gen.dead_cone_counter(4, 8, target=5), "fail",
+                      "redundant", expected_depth=5,
+                      description="dead-cone counter reaching its target at depth 5"),
+        SuiteInstance("red_stuck04", lambda: gen.stuck_gate_counter(4, 4),
+                      "pass", "redundant",
+                      description="counter polluted through 4 provably-stuck latches"),
+        SuiteInstance("red_stuck04bug",
+                      lambda: gen.stuck_gate_counter(4, 4, target=5), "fail",
+                      "redundant", expected_depth=5,
+                      description="stuck-gate counter failing at depth 5"),
+        SuiteInstance("red_dup06", lambda: gen.duplicated_pattern(6, 3),
+                      "pass", "redundant",
+                      description="interlocked shift register, 3 duplicated matchers"),
+        SuiteInstance("red_dup06bug",
+                      lambda: gen.duplicated_pattern(6, 3, reachable=True),
+                      "fail", "redundant", expected_depth=6,
+                      description="duplicated matchers seeing all-ones at depth 6"),
+    ]
+
+
 def full_suite() -> List[SuiteInstance]:
-    """Academic + industrial blocks (the Fig. 6 population)."""
-    return academic_suite() + industrial_suite()
+    """Academic + industrial + redundant blocks (the Fig. 6 population)."""
+    return academic_suite() + industrial_suite() + redundant_suite()
 
 
 def quick_suite() -> List[SuiteInstance]:

@@ -1,8 +1,12 @@
-"""CNF substrate: clause containers, DIMACS I/O, Tseitin encoding, simplification."""
+"""CNF substrate: clause containers, DIMACS I/O, Tseitin encoding.
+
+CNF *simplification* (unit propagation, subsumption, bounded variable
+elimination) lives in :mod:`repro.preprocess.cnfsimp` — it is one pass of
+the model-preprocessing pipeline, not part of the encoding substrate.
+"""
 
 from .cnf import Clause, Cnf, neg, var_of
 from .dimacs import DimacsError, dumps_dimacs, loads_dimacs, read_dimacs, write_dimacs
-from .simplify import SimplificationResult, simplify_cnf, unit_propagate
 from .tseitin import ClauseSink, TseitinEncoder, encode_combinational
 
 __all__ = [
@@ -15,9 +19,6 @@ __all__ = [
     "loads_dimacs",
     "read_dimacs",
     "write_dimacs",
-    "SimplificationResult",
-    "simplify_cnf",
-    "unit_propagate",
     "ClauseSink",
     "TseitinEncoder",
     "encode_combinational",

@@ -4,7 +4,10 @@ All four engines (standard interpolation, parallel/serial interpolation
 sequences, sequences + CBA) share:
 
 * an engine-private copy of the model's AIG into which interpolants are
-  materialised (so a run never mutates the caller's circuit);
+  materialised (so a run never mutates the caller's circuit) — by default
+  the copy is first shrunk by the preprocessing pipeline
+  (:mod:`repro.preprocess`), and counterexamples found on the reduced
+  model are lifted back to the original variables before validation;
 * the initial-state predicate S₀ as an AIG cone over latch variables;
 * SAT-based implication / containment checks between AIG predicates;
 * a shared *incremental counterexample search*
@@ -42,7 +45,10 @@ from ..aig.model import Model
 from ..aig.ops import cone_size
 from ..bmc.cex import Trace
 from ..bmc.incremental import IncrementalUnroller
+from ..cnf.cnf import Cnf
 from ..cnf.tseitin import TseitinEncoder
+from ..preprocess.cnfsimp import CnfSimplifyConfig, simplify_cnf
+from ..preprocess.passes import PreprocessResult, build_pipeline
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SatResult
 from .options import EngineOptions
@@ -76,7 +82,9 @@ def initial_states_predicate(model: Model) -> int:
 
 def implies(aig: Aig, antecedent: int, consequent: int,
             budget: Optional[Budget] = None,
-            on_stats: Optional[callable] = None) -> bool:
+            on_stats: Optional[callable] = None,
+            cnf_simplify: Optional[CnfSimplifyConfig] = None,
+            on_reduction: Optional[callable] = None) -> bool:
     """Decide ``antecedent ⇒ consequent`` for two predicates in the same AIG.
 
     Both predicates are interpreted over the same (free) leaf valuation, so
@@ -88,15 +96,63 @@ def implies(aig: Aig, antecedent: int, consequent: int,
     their accounting: on interpolant-heavy runs the Tseitin encoding of the
     cones is a dominant cost, and leaving it uncounted would let a run
     evade every deterministic resource budget.
+
+    ``cnf_simplify`` routes the encoded formula through the preprocessing
+    pipeline's CNF pass (:func:`repro.preprocess.cnfsimp.simplify_cnf`)
+    before the solver sees it.  This check is pure SAT-or-UNSAT — no proof,
+    no model read-back — so equisatisfiability-only reductions (bounded
+    variable elimination, subsumption) are sound here, and the clause
+    counters then measure the reduced encoding.  ``on_reduction`` receives
+    the :class:`~repro.preprocess.cnfsimp.CnfSimplifyStats` of each run.
+
+    Simplification is gated on the *predicted* encoding size (3 clauses
+    per AND gate in the two cones): beyond ``cnf_simplify.max_clause_count``
+    the check streams clauses straight into the solver, paying neither the
+    clause containers nor the quadratic-ish subsumption sweeps — on
+    interpolant-heavy runs the late containment checks carry cones of
+    hundreds of thousands of clauses, where a pure-Python simplifier costs
+    multiples of the solve it is trying to shorten.
     """
-    solver = CdclSolver()
-    encoder = TseitinEncoder(aig, solver.new_var,
-                             lambda clause: solver.add_clause(clause),
-                             allocate_leaves=True)
-    a_lit = encoder.literal(antecedent)
-    c_lit = encoder.literal(consequent)
-    solver.add_clause([a_lit])
-    solver.add_clause([-c_lit])
+    if cnf_simplify is not None:
+        cone = aig.fanin_cone([antecedent, consequent])
+        predicted = 3 * sum(1 for var in cone if aig.is_and(var)) + 2
+        if predicted > cnf_simplify.max_clause_count:
+            cnf_simplify = None
+    if cnf_simplify is not None:
+        cnf = Cnf()
+        encoder = TseitinEncoder(aig, cnf.new_var, cnf.add_clause,
+                                 allocate_leaves=True)
+        a_lit = encoder.literal(antecedent)
+        c_lit = encoder.literal(consequent)
+        cnf.add_clause([a_lit])
+        cnf.add_clause([-c_lit])
+        reduction = simplify_cnf(cnf, config=cnf_simplify)
+        if on_reduction is not None:
+            on_reduction(reduction.stats)
+        if reduction.conflict:
+            # Preprocessing alone refuted antecedent ∧ ¬consequent.  Such a
+            # check contributes no *solver* counters (there is no solver) —
+            # by design: the deterministic budgets bound solver work, the
+            # counters measure the reduced encoding (here reduced to
+            # nothing), and the simplifier's own effort is capped per call
+            # by ``max_clause_count``, so a run cannot evade the budgets
+            # unboundedly through this path.  The check still shows up in
+            # ``sat_calls`` / ``containment_checks`` and its reduction in
+            # ``pre_cnf_clauses_eliminated``.
+            return True
+        solver = CdclSolver()
+        solver.ensure_var(reduction.cnf.num_vars)
+        for clause in reduction.cnf.clauses:
+            solver.add_clause(list(clause.literals))
+    else:
+        solver = CdclSolver()
+        encoder = TseitinEncoder(aig, solver.new_var,
+                                 lambda clause: solver.add_clause(clause),
+                                 allocate_leaves=True)
+        a_lit = encoder.literal(antecedent)
+        c_lit = encoder.literal(consequent)
+        solver.add_clause([a_lit])
+        solver.add_clause([-c_lit])
     result = solver.solve(budget=budget)
     if on_stats is not None:
         on_stats(solver.stats)
@@ -111,12 +167,27 @@ class UmcEngine:
     name = "umc"
 
     def __init__(self, model: Model, options: Optional[EngineOptions] = None) -> None:
-        # Engines add interpolant cones to the AIG, so they work on a private
-        # copy and never mutate the caller's model.
         self._source_model = model
-        self.aig = model.aig.copy()
-        self.model = Model(self.aig, model.property_index, name=model.name)
         self.options = options or EngineOptions()
+        #: Pipeline outcome when preprocessing ran (None otherwise); carries
+        #: the ModelMap that lifts reduced-model traces back (see _fail).
+        self.preprocess: Optional[PreprocessResult] = None
+        #: Wall clock spent preprocessing at construction; charged against
+        #: the run's time budget and reported time (see run()).
+        self._preprocess_seconds = 0.0
+        construction_started = time.monotonic()
+        if self.options.preprocess:
+            pipeline = build_pipeline(self.options.preprocess_passes)
+            self.preprocess = pipeline.run(model)
+            # The pipeline hands out a private model (engines add
+            # interpolant cones to the AIG, so it must never be shared).
+            self.aig = self.preprocess.model.aig
+            self.model = self.preprocess.model
+        else:
+            # No preprocessing: work on a private copy of the caller's AIG.
+            self.aig = model.aig.copy()
+            self.model = Model(self.aig, model.property_index, name=model.name)
+        self._preprocess_seconds = time.monotonic() - construction_started
         self.stats = EngineStats()
         self._start_time = 0.0
         self._current_bound: Optional[int] = None
@@ -193,9 +264,15 @@ class UmcEngine:
             self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
                                                 solver_stats.conflicts)
 
+        def account_reduction(simp_stats) -> None:
+            self.stats.pre_cnf_clauses_eliminated += simp_stats.clauses_eliminated
+
+        cnf_config = self.preprocess.cnf_simplify if self.preprocess else None
         try:
             result = implies(aig or self.aig, antecedent, consequent,
-                             budget=self._sat_budget(), on_stats=account)
+                             budget=self._sat_budget(), on_stats=account,
+                             cnf_simplify=cnf_config,
+                             on_reduction=account_reduction)
         except OutOfBudget:
             raise OutOfBudget(self._current_bound)
         finally:
@@ -274,9 +351,19 @@ class UmcEngine:
     # Result packaging
     # ------------------------------------------------------------------ #
     def run(self) -> VerificationResult:
-        """Execute the engine and return a :class:`VerificationResult`."""
-        self._start_time = time.monotonic()
+        """Execute the engine and return a :class:`VerificationResult`.
+
+        The wall clock spent preprocessing the model at construction is
+        charged here — it counts against ``options.time_limit`` and shows
+        up in ``result.time_seconds`` — so preprocess-on and preprocess-off
+        runs compare on their true total cost.
+        """
+        self._start_time = time.monotonic() - self._preprocess_seconds
         self.stats = EngineStats()
+        if self.preprocess is not None:
+            self.stats.pre_inputs_removed = self.preprocess.inputs_removed
+            self.stats.pre_latches_removed = self.preprocess.latches_removed
+            self.stats.pre_ands_removed = self.preprocess.ands_removed
         self._cex_searcher = None
         try:
             result = self._run()
@@ -300,6 +387,11 @@ class UmcEngine:
                                   model_name=self.model.name, k_fp=k_fp, j_fp=j_fp)
 
     def _fail(self, k_fp: int, trace: Optional[Trace]) -> VerificationResult:
+        if trace is not None and self.preprocess is not None:
+            # The trace is over the reduced model's variables; lift it back
+            # to the original inputs/latches so validation (and the caller)
+            # see a counterexample of the *source* model.
+            trace = self.preprocess.lift_trace(trace)
         if trace is not None and self.options.validate_traces:
             if not trace.check(self._source_model):
                 raise RuntimeError(

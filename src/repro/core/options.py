@@ -9,9 +9,10 @@ suite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from ..bmc.checks import BmcCheckKind
+from ..preprocess.passes import validate_pass_names
 
 __all__ = ["EngineOptions"]
 
@@ -81,6 +82,19 @@ class EngineOptions:
         openings (1, the default, pushes after every frame as the standard
         algorithm does; larger values trade later fixpoint detection for
         fewer push queries).
+    preprocess:
+        Run the model-preprocessing pipeline (:mod:`repro.preprocess`)
+        before encoding anything: cone-of-influence reduction, stuck-latch
+        sweeping, structural rewriting, and CNF-level elimination on the
+        containment checks.  Counterexamples found on the reduced model are
+        lifted back to the original variables before validation, so
+        verdicts and replayed traces are identical either way — only the
+        amount of logic the solver pays for changes.  On by default;
+        disable to encode the raw circuit as the seed implementation did.
+    preprocess_passes:
+        Pass names (in order) for the pipeline; ``None`` selects the
+        default ``('coi', 'sweep', 'coi', 'rewrite', 'cnf')``.  Ignored
+        when ``preprocess`` is off.
     """
 
     max_bound: int = 30
@@ -97,6 +111,8 @@ class EngineOptions:
     cba_refine_batch: int = 4
     pdr_gen_budget: int = 32
     pdr_push_period: int = 1
+    preprocess: bool = True
+    preprocess_passes: Optional[Tuple[str, ...]] = None
 
     def with_changes(self, **kwargs) -> "EngineOptions":
         """Return a copy with some fields replaced."""
@@ -123,3 +139,5 @@ class EngineOptions:
             raise ValueError("pdr_gen_budget must be non-negative")
         if self.pdr_push_period < 1:
             raise ValueError("pdr_push_period must be at least 1")
+        if self.preprocess_passes is not None:
+            self.preprocess_passes = validate_pass_names(self.preprocess_passes)

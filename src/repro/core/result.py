@@ -48,6 +48,12 @@ class EngineStats:
     propagation phase moved forward); they stay 0 for the interpolation
     engines, whose proof effort shows up in ``itp_extractions``/``itp_nodes``
     instead.
+
+    The ``pre_*`` counters describe the preprocessing pipeline's reduction
+    of the run's model (inputs/latches/AND gates removed before any
+    encoding happened) and, for ``pre_cnf_clauses_eliminated``, the
+    cumulative clauses the CNF-level pass removed from the containment
+    checks.  All stay 0 with ``EngineOptions.preprocess`` off.
     """
 
     sat_calls: int = 0
@@ -63,6 +69,10 @@ class EngineStats:
     max_call_conflicts: int = 0
     blocked_cubes: int = 0
     clauses_pushed: int = 0
+    pre_inputs_removed: int = 0
+    pre_latches_removed: int = 0
+    pre_ands_removed: int = 0
+    pre_cnf_clauses_eliminated: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -79,6 +89,10 @@ class EngineStats:
             "max_call_conflicts": self.max_call_conflicts,
             "blocked_cubes": self.blocked_cubes,
             "clauses_pushed": self.clauses_pushed,
+            "pre_inputs_removed": self.pre_inputs_removed,
+            "pre_latches_removed": self.pre_latches_removed,
+            "pre_ands_removed": self.pre_ands_removed,
+            "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
         }
 
 

@@ -69,7 +69,9 @@ def fig6_summary(records: Iterable[InstanceRecord],
 
     Besides the figure's take-away (solved counts and times) the summary
     reports the cumulative clause additions and the per-call conflict peak,
-    relating runtimes to the incremental-vs-monolithic encoding effort.
+    relating runtimes to the incremental-vs-monolithic encoding effort,
+    plus the total AND gates preprocessing removed across the population
+    (0 on preprocessing-off runs).
     """
     records = list(records)
     rows: List[List[object]] = []
@@ -83,7 +85,8 @@ def fig6_summary(records: Iterable[InstanceRecord],
                      round(solved_time, 3), round(total_time, 3),
                      sum(r.clauses_added for r in engine_records),
                      max((r.max_call_conflicts for r in engine_records),
-                         default=0)])
+                         default=0),
+                     sum(r.pre_ands_removed for r in engine_records)])
     return rows
 
 
@@ -126,7 +129,8 @@ def render_fig6(records: Iterable[InstanceRecord],
     if as_csv:
         return format_csv(headers, rows)
     summary_headers = ["engine", "instances", "solved", "time(solved)",
-                       "time(total)", "clauses_added", "max_call_conflicts"]
+                       "time(total)", "clauses_added", "max_call_conflicts",
+                       "pre_ands_removed"]
     summary_rows = fig6_summary(records, engines)
     if deterministic:
         summary_headers, summary_rows = drop_time_columns(summary_headers,

@@ -23,6 +23,10 @@ class EngineRecord:
     ``clauses_pushed`` describe the PDR engine's frame effort (0 for the
     interpolation engines), letting Table-I-style runs compare the two
     prover families on solver counters rather than wall clock alone.
+    The ``pre_*`` columns record what the preprocessing pipeline removed
+    before the engine encoded anything (latches / AND gates of the model,
+    plus the clauses the CNF pass eliminated from containment checks);
+    all zero when the run had preprocessing disabled.
     """
 
     engine: str
@@ -39,6 +43,9 @@ class EngineRecord:
     max_call_conflicts: int = 0
     blocked_cubes: int = 0
     clauses_pushed: int = 0
+    pre_latches_removed: int = 0
+    pre_ands_removed: int = 0
+    pre_cnf_clauses_eliminated: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -57,6 +64,9 @@ class EngineRecord:
             max_call_conflicts=result.stats.max_call_conflicts,
             blocked_cubes=result.stats.blocked_cubes,
             clauses_pushed=result.stats.clauses_pushed,
+            pre_latches_removed=result.stats.pre_latches_removed,
+            pre_ands_removed=result.stats.pre_ands_removed,
+            pre_cnf_clauses_eliminated=result.stats.pre_cnf_clauses_eliminated,
         )
 
     @property
@@ -79,6 +89,9 @@ class EngineRecord:
             "max_call_conflicts": self.max_call_conflicts,
             "blocked_cubes": self.blocked_cubes,
             "clauses_pushed": self.clauses_pushed,
+            "pre_latches_removed": self.pre_latches_removed,
+            "pre_ands_removed": self.pre_ands_removed,
+            "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
         }
 
     def as_deterministic_dict(self) -> Dict[str, object]:

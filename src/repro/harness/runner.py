@@ -69,6 +69,9 @@ class HarnessConfig:
     check_expected: bool = True
     engine_options: Optional[EngineOptions] = None
     jobs: int = 1
+    #: Model preprocessing for every engine cell (the BDD baseline always
+    #: sees the raw circuit — its exact diameters are part of the tables).
+    preprocess: bool = True
 
     def options(self) -> EngineOptions:
         if self.engine_options is not None:
@@ -77,7 +80,8 @@ class HarnessConfig:
                              time_limit=self.time_limit,
                              max_clauses=self.max_clauses,
                              max_propagations=self.max_propagations,
-                             conflict_limit=self.conflict_limit)
+                             conflict_limit=self.conflict_limit,
+                             preprocess=self.preprocess)
 
 
 # --------------------------------------------------------------------- #

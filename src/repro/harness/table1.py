@@ -65,13 +65,25 @@ def table1_deterministic_headers(engines: Sequence[str] = TABLE1_ENGINES) -> Lis
     cumulative clause additions (the deterministic effort measure this repo
     judges performance by).  The overflow bound ``k_fp`` stays meaningful
     because artefact runs budget on ``max_clauses``, which trips at the
-    same query everywhere.
+    same query everywhere.  ``preFF`` / ``preAND`` report what the
+    preprocessing pipeline removed from the instance before the engines
+    encoded it (identical for every engine of a row, since they share one
+    configuration); both 0 when the run had preprocessing off.
     """
-    headers = ["Name", "#PI", "#FF", "bdd", "d_F", "d_B"]
+    headers = ["Name", "#PI", "#FF", "preFF", "preAND", "bdd", "d_F", "d_B"]
     for engine in engines:
         headers += [f"{engine}.verdict", f"{engine}.k_fp", f"{engine}.j_fp",
                     f"{engine}.clauses"]
     return headers
+
+
+def _preprocess_cells(record: InstanceRecord) -> List[object]:
+    """Latch / AND reduction of the instance (same for every engine cell)."""
+    engine_records = list(record.engines.values())
+    if not engine_records:
+        return [None, None]
+    return [max(r.pre_latches_removed for r in engine_records),
+            max(r.pre_ands_removed for r in engine_records)]
 
 
 def table1_deterministic_rows(records: Iterable[InstanceRecord],
@@ -79,6 +91,7 @@ def table1_deterministic_rows(records: Iterable[InstanceRecord],
     rows: List[List[object]] = []
     for record in records:
         row: List[object] = [record.name, record.num_inputs, record.num_latches]
+        row += _preprocess_cells(record)
         if record.bdd is None or record.bdd.status == "overflow":
             row += ["ovf", None, None]
         else:

@@ -1,0 +1,56 @@
+"""Model preprocessing: shrink the circuit before any engine encodes it.
+
+The package provides a composable pass pipeline over
+:class:`~repro.aig.model.Model` objects — cone-of-influence reduction,
+ternary-simulation stuck-latch sweeping, structural rewriting and
+CNF-level bounded variable elimination — plus the
+:class:`~repro.preprocess.modelmap.ModelMap` machinery that lifts
+counterexample traces found on the reduced model back to the original
+inputs and latches, so preprocessing never weakens trace validation.
+"""
+
+from .cnfsimp import (
+    CnfReduction,
+    CnfSimplifyConfig,
+    CnfSimplifyStats,
+    simplify_cnf,
+    unit_propagate,
+)
+from .coi import CoiPass
+from .modelmap import ModelMap
+from .passes import (
+    DEFAULT_PASSES,
+    PASSES,
+    CnfEliminationPass,
+    Pass,
+    PassResult,
+    PassStats,
+    Pipeline,
+    PreprocessResult,
+    build_pipeline,
+)
+from .rewrite import RewritePass, rewrite_and
+from .sweep import SweepPass, ternary_latch_fixpoint
+
+__all__ = [
+    "CnfReduction",
+    "CnfSimplifyConfig",
+    "CnfSimplifyStats",
+    "simplify_cnf",
+    "unit_propagate",
+    "CoiPass",
+    "ModelMap",
+    "DEFAULT_PASSES",
+    "PASSES",
+    "CnfEliminationPass",
+    "Pass",
+    "PassResult",
+    "PassStats",
+    "Pipeline",
+    "PreprocessResult",
+    "build_pipeline",
+    "RewritePass",
+    "rewrite_and",
+    "SweepPass",
+    "ternary_latch_fixpoint",
+]

@@ -1,0 +1,34 @@
+"""Cone-of-influence reduction as a pipeline pass.
+
+Thin pass wrapper around :func:`repro.aig.ops.coi_reduce`: everything the
+checked property (and the invariant constraints) cannot sequentially
+observe — latches, inputs and the gates between them — is dropped.  Gates
+reachable only from primary *outputs* disappear as well, since model
+checking never looks at outputs.
+
+COI appears twice in the default pipeline: once up front, and once after
+the sweep pass, whose constant substitutions routinely disconnect further
+latches from the property cone.
+"""
+
+from __future__ import annotations
+
+from ..aig.model import Model
+from ..aig.ops import coi_reduce
+from .modelmap import ModelMap
+from .passes import Pass, PassResult
+
+__all__ = ["CoiPass"]
+
+
+class CoiPass(Pass):
+    """Keep only the sequential cone of the checked property."""
+
+    name = "coi"
+
+    def apply(self, model: Model) -> PassResult:
+        reduced_aig, latch_map, input_map = coi_reduce(model.aig,
+                                                       model.property_index)
+        reduced = Model(reduced_aig, property_index=0, name=model.name)
+        model_map = ModelMap.from_dicts(input_map, latch_map)
+        return PassResult(reduced, model_map, self._stats(model, reduced))

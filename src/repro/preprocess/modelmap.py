@@ -1,0 +1,107 @@
+"""Variable correspondence between an original model and a preprocessed one.
+
+Every preprocessing pass shrinks (or restructures) a model and returns a
+:class:`ModelMap` recording how the surviving inputs and latches of the
+reduced model correspond to variables of the original.  Maps compose, so a
+whole :class:`~repro.preprocess.passes.Pipeline` yields one map from the
+original model straight to the final reduced model.
+
+The map's purpose is *trace lift-back*: a counterexample found on the
+reduced model is a :class:`~repro.bmc.cex.Trace` over reduced variables;
+:meth:`ModelMap.lift_trace` rewrites it over the original variables so it
+replays — and is validated — on the untouched source model.  Variables a
+pass dropped are don't-cares for the property by construction, so the lift
+pins them to their initial value (latches) or to constant false (inputs);
+the original model's own next-state functions take over from frame 1 on
+during replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..aig.model import Model
+from ..bmc.cex import Trace
+
+__all__ = ["ModelMap"]
+
+
+@dataclass(frozen=True)
+class ModelMap:
+    """Maps original input/latch variables to their reduced counterparts.
+
+    ``inputs`` and ``latches`` are sorted tuples of ``(original variable,
+    reduced variable)`` pairs.  Original variables without a pair were
+    dropped by the pass; reduced variables are never invented (passes only
+    drop or merge, they do not create state).
+    """
+
+    inputs: Tuple[Tuple[int, int], ...]
+    latches: Tuple[Tuple[int, int], ...]
+
+    @staticmethod
+    def from_dicts(input_map: Mapping[int, int],
+                   latch_map: Mapping[int, int]) -> "ModelMap":
+        return ModelMap(tuple(sorted(input_map.items())),
+                        tuple(sorted(latch_map.items())))
+
+    @staticmethod
+    def identity(model: Model) -> "ModelMap":
+        """The map of a pass that kept every input and latch in place."""
+        return ModelMap.from_dicts({v: v for v in model.input_vars},
+                                   {v: v for v in model.latch_vars})
+
+    @property
+    def input_map(self) -> Dict[int, int]:
+        return dict(self.inputs)
+
+    @property
+    def latch_map(self) -> Dict[int, int]:
+        return dict(self.latches)
+
+    def compose(self, later: "ModelMap") -> "ModelMap":
+        """Chain two maps: ``self`` (original -> mid), ``later`` (mid -> final).
+
+        A variable survives the composition only if both passes kept it.
+        """
+        later_inputs = later.input_map
+        later_latches = later.latch_map
+        return ModelMap.from_dicts(
+            {orig: later_inputs[mid] for orig, mid in self.inputs
+             if mid in later_inputs},
+            {orig: later_latches[mid] for orig, mid in self.latches
+             if mid in later_latches})
+
+    # ------------------------------------------------------------------ #
+    # Trace lift-back
+    # ------------------------------------------------------------------ #
+    def lift_trace(self, trace: Trace, original: Model) -> Trace:
+        """Rewrite a reduced-model counterexample over the original variables.
+
+        The lifted trace starts in a legal initial state of the original
+        model (dropped latches take their declared initial value, free ones
+        default to 0) and feeds the original inputs the values the reduced
+        trace chose, with dropped inputs held at 0.  Replay on the original
+        model then reproduces the violation, because every pass only
+        removes logic the property cone provably never observes.
+        """
+        latch_map = self.latch_map
+        initial: Dict[int, bool] = {}
+        for latch in original.latches:
+            default = bool(latch.init) if latch.init is not None else False
+            reduced_var = latch_map.get(latch.var)
+            if reduced_var is not None:
+                initial[latch.var] = trace.initial_state.get(reduced_var, default)
+            else:
+                initial[latch.var] = default
+
+        input_map = self.input_map
+        frames = []
+        for frame in range(trace.depth + 1):
+            reduced_inputs = trace.input_at(frame)
+            frames.append({
+                orig: (reduced_inputs.get(input_map[orig], False)
+                       if orig in input_map else False)
+                for orig in original.input_vars})
+        return Trace(initial_state=initial, inputs=frames, depth=trace.depth)

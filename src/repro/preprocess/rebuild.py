@@ -1,0 +1,79 @@
+"""The shared model-rebuild step behind the structural passes.
+
+Sweeping and rewriting both end the same way: re-create the model's
+interface (inputs, then surviving latches, preserving names and initial
+values), copy the observed cones — latch next-state functions, the checked
+property, the constraints — through a :class:`~repro.aig.ops.LiteralMapper`
+with some leaves substituted, and package the result as a fresh
+single-property :class:`~repro.aig.model.Model` plus the
+:class:`~repro.preprocess.modelmap.ModelMap` back to the original
+variables.  This module implements that contract once, so a change to it
+(say, carrying outputs or multiple properties through) lands in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..aig.aig import Aig, Latch, lit_var
+from ..aig.model import Model
+from ..aig.ops import LiteralMapper
+from .modelmap import ModelMap
+
+__all__ = ["rebuild_model"]
+
+
+def rebuild_model(
+    interface: Model,
+    src: Aig,
+    src_inputs: Sequence[Tuple[int, int]],
+    src_latches: Sequence[Tuple[Latch, int, int]],
+    src_bad: int,
+    src_constraints: Sequence[int],
+    substitutions: Optional[Mapping[int, int]] = None,
+) -> Tuple[Model, ModelMap]:
+    """Copy a model out of ``src``, keeping ``interface``'s names and inits.
+
+    Parameters
+    ----------
+    interface:
+        The model whose variables the returned :class:`ModelMap` refers to
+        (the pass's input model; also supplies the property name).
+    src:
+        The AIG holding the cones to copy.  For a substitution pass this
+        is the original AIG itself; for a rebuild pass it is a scratch AIG.
+    src_inputs:
+        ``(original input var, src input var)`` pairs to keep, in order.
+    src_latches:
+        ``(original latch record, src latch var, src next-state literal)``
+        triples for the latches to keep, in order — the original record
+        supplies the init value and name.
+    src_bad / src_constraints:
+        The property and constraint literals, as ``src`` literals.
+    substitutions:
+        Optional ``src var -> constant literal`` overrides for leaves that
+        are *not* kept (e.g. swept latches pinned to their stuck value).
+    """
+    rebuilt = Aig(src.name)
+    leaf_map: Dict[int, int] = dict(substitutions or {})
+    input_map: Dict[int, int] = {}
+    latch_map: Dict[int, int] = {}
+    for orig_var, src_var in src_inputs:
+        new_lit = rebuilt.add_input(src.input_name(src_var))
+        leaf_map[src_var] = new_lit
+        input_map[orig_var] = lit_var(new_lit)
+    for orig_latch, src_var, _ in src_latches:
+        new_lit = rebuilt.add_latch(init=orig_latch.init, name=orig_latch.name)
+        leaf_map[src_var] = new_lit
+        latch_map[orig_latch.var] = lit_var(new_lit)
+
+    mapper = LiteralMapper(src, rebuilt, leaf_map)
+    for _, src_var, src_next in src_latches:
+        rebuilt.set_latch_next(leaf_map[src_var], mapper.copy_lit(src_next))
+    rebuilt.add_bad(mapper.copy_lit(src_bad),
+                    interface.aig.bad_name(interface.property_index))
+    for constraint in src_constraints:
+        rebuilt.add_constraint(mapper.copy_lit(constraint))
+
+    model = Model(rebuilt, property_index=0, name=interface.name)
+    return model, ModelMap.from_dicts(input_map, latch_map)

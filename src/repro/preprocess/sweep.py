@@ -1,0 +1,110 @@
+"""Constant / stuck-at latch sweeping via ternary simulation.
+
+A latch is *stuck* when its value provably never leaves its reset value,
+whatever the primary inputs do.  The proof is the classic ternary (0/1/X)
+reachability fixpoint: start from the initial state (uninitialised latches
+are X), simulate the next-state functions with every input X, and widen
+each latch whose next value disagrees with its current abstract value to X.
+The per-latch lattice 0/1 < X is finite and widening is monotone, so the
+iteration terminates after at most one widening per latch.
+
+Latches that stay 0 or 1 at the fixpoint are replaced by the constant and
+dropped; the AIG rebuild then propagates the constants through the
+structural-hashing simplifications, which typically collapses whole cones
+(and exposes further cone-of-influence reduction — the default pipeline
+runs a second COI pass after the sweep for exactly that reason).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..aig.aig import FALSE, TRUE, Aig, lit_sign, lit_var
+from ..aig.model import Model
+from .modelmap import ModelMap
+from .passes import Pass, PassResult
+from .rebuild import rebuild_model
+
+__all__ = ["SweepPass", "ternary_latch_fixpoint"]
+
+#: The ternary "unknown" value.  0/1 are plain bools.
+X = None
+
+
+def _ternary_and(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return X
+
+
+def _ternary_lit(values: Dict[int, Optional[bool]], lit: int) -> Optional[bool]:
+    value = values[lit_var(lit)]
+    if value is X:
+        return X
+    return (not value) if lit_sign(lit) else value
+
+
+def _ternary_eval(aig: Aig, state: Dict[int, Optional[bool]]) -> Dict[int, Optional[bool]]:
+    """Evaluate every node ternarily with all inputs X and latches at ``state``."""
+    values: Dict[int, Optional[bool]] = {0: False}
+    for var in aig.input_vars():
+        values[var] = X
+    for latch in aig.latches:
+        values[latch.var] = state[latch.var]
+    for gate in aig.iter_and_gates():
+        values[gate.var] = _ternary_and(_ternary_lit(values, gate.left),
+                                        _ternary_lit(values, gate.right))
+    return values
+
+
+def ternary_latch_fixpoint(model: Model) -> Dict[int, Optional[bool]]:
+    """Return the ternary reachability value of every latch (bool or ``X``).
+
+    A non-``X`` entry means the latch provably holds that constant in every
+    reachable state of the model, for every input sequence.
+    """
+    aig = model.aig
+    state: Dict[int, Optional[bool]] = {
+        latch.var: (X if latch.init is None else bool(latch.init))
+        for latch in aig.latches}
+    while True:
+        values = _ternary_eval(aig, state)
+        changed = False
+        for latch in aig.latches:
+            current = state[latch.var]
+            if current is X:
+                continue
+            nxt = _ternary_lit(values, latch.next)
+            if nxt is X or nxt != current:
+                state[latch.var] = X
+                changed = True
+        if not changed:
+            return state
+
+
+class SweepPass(Pass):
+    """Drop latches the ternary fixpoint proves stuck at their reset value."""
+
+    name = "sweep"
+
+    def apply(self, model: Model) -> PassResult:
+        fixpoint = ternary_latch_fixpoint(model)
+        stuck = {var: value for var, value in fixpoint.items() if value is not X}
+        if not stuck:
+            return PassResult(model, ModelMap.identity(model),
+                              self._stats(model, model))
+
+        aig = model.aig
+        kept = [latch for latch in aig.latches if latch.var not in stuck]
+        result, model_map = rebuild_model(
+            interface=model,
+            src=aig,
+            src_inputs=[(var, var) for var in aig.input_vars()],
+            src_latches=[(latch, latch.var, latch.next) for latch in kept],
+            src_bad=aig.bad[model.property_index],
+            src_constraints=aig.constraints,
+            substitutions={var: TRUE if value else FALSE
+                           for var, value in stuck.items()})
+        return PassResult(result, model_map, self._stats(model, result))

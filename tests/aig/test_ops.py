@@ -91,9 +91,10 @@ def test_coi_reduce_drops_unrelated_state():
     for latch in extra:
         aig.set_latch_next(latch, latch)
     aig.add_output(extra[0])
-    reduced, latch_map = coi_reduce(aig)
+    reduced, latch_map, input_map = coi_reduce(aig)
     assert reduced.num_latches == 4
     assert len(latch_map) == 4
+    assert len(input_map) == reduced.num_inputs
     # The reduced model still fails at the same depth.
     from repro.bmc import BmcEngine
     result = BmcEngine(Model(reduced)).run(max_depth=5)

@@ -11,6 +11,8 @@ from repro.circuits import (
     combination_lock,
     controller_datapath,
     counter,
+    dead_cone_counter,
+    duplicated_pattern,
     full_suite,
     gray_counter,
     industrial_suite,
@@ -19,8 +21,10 @@ from repro.circuits import (
     parity_chain,
     pipeline_valid,
     quick_suite,
+    redundant_suite,
     round_robin_arbiter,
     shift_register_pattern,
+    stuck_gate_counter,
     token_ring,
     traffic_light,
 )
@@ -119,7 +123,7 @@ def test_every_suite_instance_builds_and_has_metadata():
         assert model.num_latches >= 1
         assert model.aig.bad, instance.name
         assert instance.expected in ("pass", "fail")
-        assert instance.category in ("academic", "industrial")
+        assert instance.category in ("academic", "industrial", "redundant")
         assert instance.description
         if instance.expected == "fail" and instance.expected_depth is not None:
             assert instance.expected_depth >= 0
@@ -128,8 +132,10 @@ def test_every_suite_instance_builds_and_has_metadata():
 def test_suite_blocks_are_disjoint_and_cover_full_suite():
     academic = {i.name for i in academic_suite()}
     industrial = {i.name for i in industrial_suite()}
+    redundant = {i.name for i in redundant_suite()}
     assert not academic & industrial
-    assert academic | industrial == {i.name for i in full_suite()}
+    assert not redundant & (academic | industrial)
+    assert academic | industrial | redundant == {i.name for i in full_suite()}
     assert {i.name for i in quick_suite()} <= academic | industrial
 
 
@@ -150,3 +156,47 @@ def test_suite_has_balanced_verdicts():
     passes = sum(1 for i in suite if i.expected == "pass")
     fails = sum(1 for i in suite if i.expected == "fail")
     assert passes >= 10 and fails >= 8
+
+
+def test_dead_cone_counter_junk_is_outside_property_cone():
+    model = dead_cone_counter(4, 8)
+    assert model.num_latches == 12
+    # The junk latches feed a primary output but never the property.
+    _, cone_latches = model.aig.support([model.bad_literal])
+    assert len(cone_latches) == 4
+    verdict = check_with_bdds(dead_cone_counter(4, 8, target=5))
+    assert verdict.is_fail and verdict.failure_depth == 5
+
+
+def test_stuck_gate_counter_stuck_latches_never_rise():
+    model = stuck_gate_counter(4, 4)
+    sim = SequentialSimulator(model.aig, width=16)
+    import random
+    rng = random.Random(7)
+    stuck_vars = [latch.var for latch in model.latches
+                  if (latch.name or "").startswith("stuck")]
+    assert len(stuck_vars) == 4
+    for _ in range(12):
+        sim.step({var: rng.getrandbits(16) for var in model.input_vars})
+        for var in stuck_vars:
+            assert sim.state[var] == 0
+    # Unlike the dead cone, the polluting network IS in the property cone.
+    _, cone_latches = model.aig.support([model.bad_literal])
+    assert len(cone_latches) == model.num_latches
+
+
+def test_duplicated_pattern_copies_agree_and_fail_depth():
+    verdict = check_with_bdds(duplicated_pattern(5, 3, reachable=True))
+    assert verdict.is_fail and verdict.failure_depth == 5
+    # The interlocked variant never shows two adjacent ones.
+    assert check_with_bdds(duplicated_pattern(5, 3)).is_pass
+    # Duplicated matchers really are structurally distinct at build time.
+    model = duplicated_pattern(6, 3)
+    assert model.aig.num_ands > 10
+
+
+def test_redundant_suite_instances_registered():
+    names = {i.name for i in redundant_suite()}
+    assert names == {"red_dead08", "red_dead08bug", "red_stuck04",
+                     "red_stuck04bug", "red_dup06", "red_dup06bug"}
+    assert all(i.category == "redundant" for i in redundant_suite())

@@ -1,17 +1,19 @@
-"""Tests for the Tseitin encoder and the CNF simplifier."""
+"""Tests for the Tseitin encoder and the CNF simplifier.
+
+The simplifier itself lives in :mod:`repro.preprocess.cnfsimp` (it is the
+pipeline's CNF pass); the encoder-level behaviour it must respect is
+covered here next to the Tseitin tests, while the pass-level behaviour
+(variable elimination, reconstruction) is covered in
+``tests/preprocess/test_cnfsimp.py``.
+"""
 
 import itertools
 
 import pytest
 
 from repro.aig import Aig, lit_negate, lit_var, lit_value, simulate_comb
-from repro.cnf import (
-    Cnf,
-    TseitinEncoder,
-    encode_combinational,
-    simplify_cnf,
-    unit_propagate,
-)
+from repro.cnf import Cnf, TseitinEncoder, encode_combinational
+from repro.preprocess import simplify_cnf, unit_propagate
 from repro.sat import CdclSolver, SatResult, brute_force_sat
 
 
@@ -132,6 +134,7 @@ def test_simplify_cnf_removes_satisfied_clauses():
     # [1] and [1,2,3] disappear; [-1,2] becomes [2] -> propagated too.
     assert result.assignment[2] is True
     assert all(1 not in c.variables() for c in result.cnf.clauses)
+    assert result.stats.clauses_eliminated >= 3
 
 
 def test_simplify_cnf_conflict_returns_none_formula():
@@ -151,9 +154,12 @@ def test_simplify_preserves_satisfiability_on_random_formulas():
             clauses.append([v if rng.random() < 0.5 else -v for v in vs])
         cnf = Cnf(clauses)
         original_sat, _ = brute_force_sat(cnf)
-        result = simplify_cnf(cnf, eliminate_pure=True)
+        result = simplify_cnf(cnf)
         if result.conflict:
             assert original_sat is False
         else:
-            simplified_sat, _ = brute_force_sat(result.cnf) if len(result.cnf) else (True, {})
+            simplified_sat, model = brute_force_sat(result.cnf) if len(result.cnf) else (True, {})
             assert simplified_sat == original_sat
+            if simplified_sat:
+                # The reconstructed assignment must satisfy the original.
+                assert cnf.is_satisfied_by(result.extend_assignment(model or {}))

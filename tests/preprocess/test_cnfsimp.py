@@ -1,0 +1,115 @@
+"""Tests for the CNF simplifier (the pipeline's encoding-time pass)."""
+
+import random
+
+import pytest
+
+from repro.cnf import Cnf
+from repro.preprocess import CnfSimplifyConfig, simplify_cnf
+from repro.sat import CdclSolver, SatResult, brute_force_sat
+
+
+def test_subsumption_removes_supersets():
+    cnf = Cnf([[1, 2], [1, 2, 3], [1, 2, 4], [-1, 5], [-1, 5, 6]])
+    result = simplify_cnf(cnf, config=CnfSimplifyConfig(eliminate=False))
+    assert not result.conflict
+    assert result.stats.subsumed >= 3
+    literals = {tuple(c.literals) for c in result.cnf.clauses}
+    assert (1, 2) in literals and (-1, 5) in literals
+    assert (1, 2, 3) not in literals
+
+
+def test_self_subsumption_strengthens_clauses():
+    # (1 2) and (-1 2 3): resolving on 1 gives (2 3) ⊂ (-1 2 3), so the
+    # second clause strengthens to (2 3)... and is then subsumed further.
+    cnf = Cnf([[1, 2], [-1, 2, 3]])
+    result = simplify_cnf(cnf, frozen=(1, 2, 3),
+                          config=CnfSimplifyConfig(eliminate=False))
+    assert result.stats.strengthened >= 1
+    for clause in result.cnf.clauses:
+        assert -1 not in clause.literals
+
+
+def test_variable_elimination_respects_frozen_set():
+    cnf = Cnf([[1, 2], [-2, 3], [1, 3, 4]])
+    kept = simplify_cnf(cnf, frozen=(1, 2, 3, 4))
+    assert kept.stats.eliminated_vars == 0
+    free = simplify_cnf(cnf)
+    assert free.stats.eliminated_vars > 0
+
+
+def test_conflict_detected_by_propagation():
+    result = simplify_cnf(Cnf([[1], [-1, 2], [-2]]))
+    assert result.conflict and result.cnf is None
+
+
+def test_elimination_never_grows_clause_count():
+    rng = random.Random(11)
+    for _ in range(30):
+        clauses = []
+        for _ in range(rng.randint(5, 25)):
+            vs = rng.sample(range(1, 9), rng.randint(1, 4))
+            clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+        cnf = Cnf(clauses)
+        result = simplify_cnf(cnf)
+        if not result.conflict:
+            assert len(result.cnf.clauses) <= len(cnf.clauses)
+            assert result.stats.clauses_eliminated >= 0
+
+
+def test_equisatisfiability_and_model_reconstruction_random():
+    rng = random.Random(5)
+    for round_index in range(40):
+        clauses = []
+        for _ in range(rng.randint(4, 22)):
+            vs = rng.sample(range(1, 8), rng.randint(1, 3))
+            clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+        cnf = Cnf(clauses)
+        original_sat, _ = brute_force_sat(cnf)
+        result = simplify_cnf(cnf)
+        if result.conflict:
+            assert original_sat is False, round_index
+            continue
+        solver = CdclSolver()
+        solver.ensure_var(result.cnf.num_vars)
+        for clause in result.cnf.clauses:
+            solver.add_clause(list(clause.literals))
+        answer = solver.solve()
+        assert (answer is SatResult.SAT) == original_sat, round_index
+        if answer is SatResult.SAT:
+            extended = result.extend_assignment(solver.model())
+            assert cnf.is_satisfied_by(extended), round_index
+
+
+def test_large_formulas_fall_back_to_propagation_only():
+    clauses = [[i, i + 1] for i in range(1, 50)]
+    cnf = Cnf(clauses)
+    result = simplify_cnf(cnf, config=CnfSimplifyConfig(max_clause_count=10))
+    assert result.stats.eliminated_vars == 0
+    assert result.stats.subsumed == 0
+    assert len(result.cnf.clauses) == len(clauses)
+
+
+def test_tautologies_are_dropped():
+    cnf = Cnf([[1, -1, 2], [2, 3]])
+    result = simplify_cnf(cnf, frozen=(2, 3))
+    assert result.stats.tautologies == 1
+    assert all(not c.is_tautology for c in result.cnf.clauses)
+
+
+def test_pure_literal_elimination_is_bounded_ve():
+    cnf = Cnf([[1, 2], [1, 3], [2, 3]])
+    result = simplify_cnf(cnf, frozen=(2, 3))
+    # Variable 1 occurs only positively: eliminated with zero resolvents.
+    assert result.stats.eliminated_vars == 1
+    assert all(1 not in c.variables() for c in result.cnf.clauses)
+    # Reconstruction must pick 1 = True to satisfy the removed clauses.
+    model = {2: True, 3: False}
+    extended = result.extend_assignment(model)
+    assert extended[1] is True
+
+
+def test_unit_propagation_assigns_frozen_variables():
+    result = simplify_cnf(Cnf([[1], [-1, 2]]), frozen=(1, 2))
+    assert result.assignment == {1: True, 2: True}
+    assert len(result.cnf.clauses) == 0

@@ -1,0 +1,77 @@
+"""Tests for ModelMap: identity, composition and trace lift-back."""
+
+from repro.aig import Model
+from repro.aig.builder import AigBuilder
+from repro.bmc import Trace
+from repro.circuits import dead_cone_counter, token_ring
+from repro.preprocess import CoiPass, ModelMap, build_pipeline
+
+
+def test_identity_map_covers_all_variables():
+    model = token_ring(4)
+    identity = ModelMap.identity(model)
+    assert identity.input_map == {v: v for v in model.input_vars}
+    assert identity.latch_map == {v: v for v in model.latch_vars}
+
+
+def test_compose_drops_variables_removed_by_either_side():
+    first = ModelMap.from_dicts({1: 10, 2: 11}, {3: 12, 4: 13})
+    second = ModelMap.from_dicts({10: 20}, {12: 21, 13: 22})
+    composed = first.compose(second)
+    assert composed.input_map == {1: 20}
+    assert composed.latch_map == {3: 21, 4: 22}
+
+
+def test_coi_pass_map_tracks_surviving_variables():
+    model = dead_cone_counter(4, 8)
+    result = CoiPass().apply(model)
+    # Only the counter's latches survive; every surviving original variable
+    # has a destination, every dropped one does not.
+    assert len(result.model_map.latch_map) == result.model.num_latches == 4
+    assert len(result.model_map.input_map) == result.model.num_inputs == 1
+    kept = set(result.model_map.latch_map)
+    assert kept <= set(model.latch_vars)
+
+
+def test_lift_trace_replays_on_original_model():
+    model = dead_cone_counter(4, 8, target=5)
+    pipeline_result = build_pipeline().run(model)
+    reduced = pipeline_result.model
+    # Build the counterexample by hand on the reduced model: hold the
+    # enable input high for 5 steps.
+    enable = reduced.input_vars[0]
+    reduced_trace = Trace(initial_state=reduced.initial_state(),
+                          inputs=[{enable: True} for _ in range(6)], depth=5)
+    assert reduced_trace.check(reduced)
+    lifted = pipeline_result.lift_trace(reduced_trace)
+    # The lifted trace pins every original latch and input (dropped ones to
+    # their reset value / zero) and still demonstrates the violation.
+    assert set(lifted.initial_state) == set(model.latch_vars)
+    assert all(set(frame) == set(model.input_vars) for frame in lifted.inputs)
+    assert lifted.depth == 5
+    assert lifted.check(model)
+
+
+def test_lift_trace_respects_nonzero_initial_values():
+    builder = AigBuilder("inits")
+    live = builder.register_bit(init=0, name="live")
+    dropped = builder.register_bit(init=1, name="dropped")
+    tick = builder.input_bit("tick")
+    builder.connect_bit(live, builder.aig.op_xor(live, tick))
+    builder.connect_bit(dropped, dropped)
+    builder.aig.add_output(dropped, "keepalive")
+    builder.aig.add_bad(live, "live_high")
+    model = Model(builder.aig, name="inits")
+
+    result = CoiPass().apply(model)
+    assert result.model.num_latches == 1
+    from repro.aig.aig import lit_var
+    reduced_live = result.model_map.latch_map[lit_var(live)]
+    trace = Trace(initial_state={reduced_live: False},
+                  inputs=[{result.model.input_vars[0]: True}, {}], depth=1)
+    assert trace.check(result.model)
+    lifted = result.model_map.lift_trace(trace, model)
+    # The dropped latch must come back with its declared init value 1,
+    # otherwise Trace.check rejects the initial state.
+    assert lifted.initial_state[lit_var(dropped)] is True
+    assert lifted.check(model)
