@@ -46,9 +46,13 @@ class _Parser(argparse.ArgumentParser):
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = _Parser(
         prog="python -m repro",
         description="Model-check one safety property of an AIGER circuit.")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("file", nargs="?",
                         help="AIGER file, ASCII (.aag) or binary (.aig)")
     parser.add_argument("--engine", default="pdr",
@@ -81,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-preprocess", dest="preprocess",
                         action="store_false",
                         help="encode the raw circuit without preprocessing")
+    parser.add_argument("--no-proof-reduce", dest="proof_reduce",
+                        action="store_false", default=True,
+                        help="extract interpolants from the raw resolution "
+                             "trace instead of the trimmed refutation")
+    parser.add_argument("--no-itp-compact", dest="itp_compact",
+                        action="store_false", default=True,
+                        help="skip structural compaction of freshly "
+                             "extracted interpolant cones")
+    parser.add_argument("--no-incremental-fixpoint",
+                        dest="fixpoint_incremental",
+                        action="store_false", default=True,
+                        help="run every containment check on a fresh "
+                             "throwaway solver instead of the per-run "
+                             "persistent fixpoint checker")
     parser.add_argument("--stats", action="store_true",
                         help="print the engine's statistics counters")
     parser.add_argument("--trace", action="store_true",
@@ -164,7 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     options = EngineOptions(max_bound=args.max_bound,
                             time_limit=args.time_limit,
                             validate_traces=not args.no_validate,
-                            preprocess=args.preprocess)
+                            preprocess=args.preprocess,
+                            proof_reduce=args.proof_reduce,
+                            itp_compact=args.itp_compact,
+                            fixpoint_incremental=args.fixpoint_incremental)
     if args.engine == "portfolio":
         result = Portfolio(options=options).run_first_solved(
             model, parallel=args.race, jobs=args.jobs)

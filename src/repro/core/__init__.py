@@ -2,6 +2,7 @@
 
 from .base import OutOfBudget, UmcEngine, implies, initial_states_predicate
 from .cba_engine import ItpSeqCbaEngine
+from .fixpoint import FixpointChecker
 from .itp_engine import ItpEngine
 from .itpseq_engine import ItpSeqEngine
 from .options import EngineOptions
@@ -13,6 +14,7 @@ from .sitpseq_engine import SerialItpSeqEngine, compute_serial_sequence
 __all__ = [
     "OutOfBudget",
     "UmcEngine",
+    "FixpointChecker",
     "implies",
     "initial_states_predicate",
     "ItpSeqCbaEngine",

@@ -9,7 +9,14 @@ sequences, sequences + CBA) share:
   (:mod:`repro.preprocess`), and counterexamples found on the reduced
   model are lifted back to the original variables before validation;
 * the initial-state predicate S₀ as an AIG cone over latch variables;
-* SAT-based implication / containment checks between AIG predicates;
+* SAT-based implication / containment checks between AIG predicates —
+  by default on a *persistent* per-run :class:`~repro.core.fixpoint.FixpointChecker`
+  whose incremental Tseitin encoding pays for each accumulated cone once;
+* the shared *interpolant lifecycle*: refutations are post-processed
+  (core trimming + RecyclePivots, :meth:`UmcEngine._reduced_proof`) before
+  extraction, and every freshly extracted interpolant cone is structurally
+  compacted (:meth:`UmcEngine._register_interpolant`) before it enters the
+  reachable-set accumulation;
 * a shared *incremental counterexample search*
   (:meth:`UmcEngine._search_counterexample`): one persistent
   :class:`~repro.bmc.incremental.IncrementalUnroller` per engine run that
@@ -38,19 +45,22 @@ consumes.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
-from ..aig.aig import Aig, lit_negate
+from ..aig.aig import Aig, lit_is_const, lit_negate
 from ..aig.model import Model
 from ..aig.ops import cone_size
 from ..bmc.cex import Trace
 from ..bmc.incremental import IncrementalUnroller
 from ..cnf.cnf import Cnf
 from ..cnf.tseitin import TseitinEncoder
-from ..preprocess.cnfsimp import CnfSimplifyConfig, simplify_cnf
+from ..itp.compact import compact_cone
+from ..preprocess.cnfsimp import CnfSimplifyConfig, CnfSimplifyStats, simplify_cnf
 from ..preprocess.passes import PreprocessResult, build_pipeline
+from ..sat.proof import ResolutionProof, reduce_proof
 from ..sat.solver import CdclSolver
-from ..sat.types import Budget, SatResult
+from ..sat.types import Budget, SatResult, SolverStats
+from .fixpoint import FixpointChecker
 from .options import EngineOptions
 from .result import EngineStats, Verdict, VerificationResult
 
@@ -82,9 +92,10 @@ def initial_states_predicate(model: Model) -> int:
 
 def implies(aig: Aig, antecedent: int, consequent: int,
             budget: Optional[Budget] = None,
-            on_stats: Optional[callable] = None,
+            on_stats: Optional[Callable[[SolverStats], None]] = None,
             cnf_simplify: Optional[CnfSimplifyConfig] = None,
-            on_reduction: Optional[callable] = None) -> bool:
+            on_reduction: Optional[Callable[[CnfSimplifyStats], None]] = None
+            ) -> bool:
     """Decide ``antecedent ⇒ consequent`` for two predicates in the same AIG.
 
     Both predicates are interpreted over the same (free) leaf valuation, so
@@ -193,6 +204,9 @@ class UmcEngine:
         self._current_bound: Optional[int] = None
         #: Persistent (proof-free) incremental BMC search over self.model.
         self._cex_searcher: Optional[IncrementalUnroller] = None
+        #: Persistent incremental containment checker over self.aig (the
+        #: R-accumulation fixpoint tests; see repro.core.fixpoint).
+        self._fixpoint_checker: Optional[FixpointChecker] = None
 
     # ------------------------------------------------------------------ #
     # Resource handling
@@ -247,7 +261,16 @@ class UmcEngine:
     def _implies(self, antecedent: int, consequent: int, aig: Optional[Aig] = None) -> bool:
         """Containment check counted in the engine statistics.
 
-        The throwaway solver's clause and propagation counters fold into
+        With ``options.fixpoint_incremental`` (the default) checks over the
+        engine's own AIG run on the persistent :class:`FixpointChecker`:
+        only the gates no earlier check encoded are Tseitin-encoded, so the
+        R-accumulation sequence pays for each interpolant cone once instead
+        of once per remaining iteration.  Checks over a different AIG — or
+        with the persistent path disabled — fall back to the one-shot
+        throwaway-solver :func:`implies`, including its size-gated CNF
+        simplification.
+
+        Either way the solver's clause and propagation counters fold into
         the run's cumulative statistics: the Tseitin encoding of large
         interpolant cones is a real — on interpolant-heavy runs dominant —
         cost, and the deterministic budgets must see it or a blowing-up
@@ -255,16 +278,18 @@ class UmcEngine:
         """
         self._check_budget()
         self.stats.containment_checks += 1
+        if self.options.fixpoint_incremental and (aig is None or aig is self.aig):
+            return self._implies_incremental(antecedent, consequent)
         started = time.monotonic()
 
-        def account(solver_stats) -> None:
+        def account(solver_stats: SolverStats) -> None:
             self.stats.clauses_added += solver_stats.clauses_added
             self.stats.conflicts += solver_stats.conflicts
             self.stats.propagations += solver_stats.propagations
             self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
                                                 solver_stats.conflicts)
 
-        def account_reduction(simp_stats) -> None:
+        def account_reduction(simp_stats: CnfSimplifyStats) -> None:
             self.stats.pre_cnf_clauses_eliminated += simp_stats.clauses_eliminated
 
         cnf_config = self.preprocess.cnf_simplify if self.preprocess else None
@@ -286,9 +311,77 @@ class UmcEngine:
             raise OutOfBudget(self._current_bound)
         return result
 
+    def _implies_incremental(self, antecedent: int, consequent: int) -> bool:
+        """One containment check on the run's persistent fixpoint solver."""
+        if self._fixpoint_checker is None:
+            self._fixpoint_checker = FixpointChecker(self.aig)
+        checker = self._fixpoint_checker
+        reused_before = checker.encodings_reused
+        started = time.monotonic()
+        try:
+            result = checker.implies(antecedent, consequent,
+                                     budget=self._sat_budget())
+        finally:
+            self.stats.sat_time += time.monotonic() - started
+            self.stats.sat_calls += 1
+        # Per-call deltas (including the clauses the encoder streamed in
+        # between solves) — same accounting as _solve on persistent solvers.
+        call = checker.solver.last_call_stats
+        self.stats.clauses_added += call.clauses_added
+        self.stats.conflicts += call.conflicts
+        self.stats.propagations += call.propagations
+        self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
+                                            call.conflicts)
+        self.stats.fixpoint_encodings_reused += (checker.encodings_reused
+                                                 - reused_before)
+        if result is SatResult.UNKNOWN:
+            raise OutOfBudget(self._current_bound)
+        if (self.options.max_clauses is not None
+                and self.stats.clauses_added > self.options.max_clauses):
+            raise OutOfBudget(self._current_bound)
+        if (self.options.max_propagations is not None
+                and self.stats.propagations > self.options.max_propagations):
+            raise OutOfBudget(self._current_bound)
+        return result is SatResult.UNSAT
+
     def _note_interpolant(self, aig: Aig, itp_lit: int) -> None:
         self.stats.itp_extractions += 1
         self.stats.itp_nodes += cone_size(aig, itp_lit)
+
+    # ------------------------------------------------------------------ #
+    # Interpolant lifecycle (proof trimming + cone compaction)
+    # ------------------------------------------------------------------ #
+    def _reduced_proof(self, solver: CdclSolver) -> ResolutionProof:
+        """The refutation interpolation should extract from.
+
+        With ``options.proof_reduce`` (the default) the raw trace is
+        post-processed first — core trimming plus the RecyclePivots
+        redundant-pivot pass (:func:`repro.sat.proof.reduce_proof`) — so
+        every extraction replays a smaller derivation DAG.  The node
+        reduction accumulates in ``stats.proof_nodes_trimmed``.
+        """
+        proof = solver.proof()
+        if not self.options.proof_reduce:
+            return proof
+        reduced, reduction = reduce_proof(proof)
+        self.stats.proof_nodes_trimmed += reduction.nodes_trimmed
+        return reduced
+
+    def _register_interpolant(self, aig: Aig, itp_lit: int) -> int:
+        """Compact (if enabled) and account one freshly extracted interpolant.
+
+        Returns the literal the engine should use from here on: with
+        ``options.itp_compact`` the cone is rebuilt through the rewriting
+        rules (:func:`repro.itp.compact.compact_cone`) before it is
+        disjoined into R — the one place structural sharing compounds,
+        since R's cone is re-encoded by every later containment check.
+        """
+        if self.options.itp_compact and not lit_is_const(itp_lit):
+            compaction = compact_cone(aig, itp_lit)
+            self.stats.itp_ands_compacted += compaction.saved
+            itp_lit = compaction.lit
+        self._note_interpolant(aig, itp_lit)
+        return itp_lit
 
     # ------------------------------------------------------------------ #
     # Incremental counterexample search (shared by every engine)
@@ -365,6 +458,7 @@ class UmcEngine:
             self.stats.pre_latches_removed = self.preprocess.latches_removed
             self.stats.pre_ands_removed = self.preprocess.ands_removed
         self._cex_searcher = None
+        self._fixpoint_checker = None
         try:
             result = self._run()
         except OutOfBudget as exc:

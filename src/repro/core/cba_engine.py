@@ -138,7 +138,7 @@ class ItpSeqCbaEngine(ItpSeqEngine):
                                        proof_logging=True)
                 result = self._solve(unroller.solver)
                 if result is SatResult.UNSAT:
-                    return abstraction, unroller.solver.proof(), unroller
+                    return abstraction, self._reduced_proof(unroller.solver), unroller
                 if incremental:  # pragma: no cover - defensive
                     raise RuntimeError(
                         "incremental and monolithic abstract checks disagree")

@@ -82,12 +82,12 @@ class ItpEngine(UmcEngine):
         j = 0
         while True:
             j += 1
-            proof = unroller.solver.proof()
+            proof = self._reduced_proof(unroller.solver)
             cut_map = unroller.cut_var_map(1)
             builder = InterpolantBuilder(self.aig, cut_map,
                                          system=self.options.itp_system)
             itp = builder.extract(proof, a_partitions=[1])
-            self._note_interpolant(self.aig, itp)
+            itp = self._register_interpolant(self.aig, itp)
 
             if self._implies(itp, reached):
                 return self._pass(k, j)

@@ -59,14 +59,15 @@ class ItpSeqEngine(UmcEngine):
             if self._solve(unroller.solver) is SatResult.SAT:
                 return self._fail(k, unroller.extract_trace(k))
 
-            proof = unroller.solver.proof()
+            proof = self._reduced_proof(unroller.solver)
             cut_maps = {j: unroller.cut_var_map(j) for j in range(1, k + 1)}
             sequence = extract_sequence(proof, k + 1, cut_maps, self.aig,
                                         system=self.options.itp_system)
-            for element in sequence.interior():
-                self._note_interpolant(self.aig, element)
+            elements = list(sequence.elements)
+            for j in range(1, k + 1):
+                elements[j] = self._register_interpolant(self.aig, elements[j])
 
-            outcome = self._update_columns(columns, sequence.elements, k,
+            outcome = self._update_columns(columns, elements, k,
                                            init_predicate)
             if outcome is not None:
                 return outcome

@@ -95,6 +95,27 @@ class EngineOptions:
         Pass names (in order) for the pipeline; ``None`` selects the
         default ``('coi', 'sweep', 'coi', 'rewrite', 'cnf')``.  Ignored
         when ``preprocess`` is off.
+    proof_reduce:
+        Post-process every refutation before interpolant extraction: core
+        trimming plus the RecyclePivots redundant-pivot pass
+        (:func:`repro.sat.proof.reduce_proof`).  Extraction then replays a
+        smaller derivation DAG, which yields smaller interpolant cones.
+        On by default; disable to extract from the raw solver trace as the
+        seed implementation did.
+    itp_compact:
+        Structurally compact every freshly extracted interpolant cone
+        (:func:`repro.itp.compact.compact_cone`) before it is disjoined
+        into the reachable-set accumulation — the one place cone sharing
+        compounds, since R is re-encoded at every later containment
+        check.  Guarded never to grow a cone.  On by default.
+    fixpoint_incremental:
+        Run the R-accumulation containment checks on one persistent
+        incremental solver per run
+        (:class:`repro.core.fixpoint.FixpointChecker`) that encodes only
+        each check's *new* cone, instead of re-encoding the whole
+        accumulated R into a throwaway solver per check.  On by default;
+        disabling restores the one-shot path with its size-gated CNF
+        simplification.
     """
 
     max_bound: int = 30
@@ -113,6 +134,9 @@ class EngineOptions:
     pdr_push_period: int = 1
     preprocess: bool = True
     preprocess_passes: Optional[Tuple[str, ...]] = None
+    proof_reduce: bool = True
+    itp_compact: bool = True
+    fixpoint_incremental: bool = True
 
     def with_changes(self, **kwargs) -> "EngineOptions":
         """Return a copy with some fields replaced."""

@@ -54,6 +54,17 @@ class EngineStats:
     encoding happened) and, for ``pre_cnf_clauses_eliminated``, the
     cumulative clauses the CNF-level pass removed from the containment
     checks.  All stay 0 with ``EngineOptions.preprocess`` off.
+
+    The interpolant-lifecycle counters measure what the post-extraction
+    machinery saved: ``proof_nodes_trimmed`` — proof nodes removed from
+    refutations before extraction (core trimming + RecyclePivots);
+    ``itp_ands_compacted`` — AND gates removed from freshly extracted
+    interpolant cones by structural compaction; and
+    ``fixpoint_encodings_reused`` — cone-gate encodings the persistent
+    containment checker served from its cache instead of re-emitting
+    (each one is three Tseitin clauses a throwaway solver would have
+    paid again).  They stay 0 with the corresponding
+    ``EngineOptions`` toggles off, and for the PDR/BMC engines.
     """
 
     sat_calls: int = 0
@@ -73,6 +84,9 @@ class EngineStats:
     pre_latches_removed: int = 0
     pre_ands_removed: int = 0
     pre_cnf_clauses_eliminated: int = 0
+    proof_nodes_trimmed: int = 0
+    itp_ands_compacted: int = 0
+    fixpoint_encodings_reused: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -93,6 +107,9 @@ class EngineStats:
             "pre_latches_removed": self.pre_latches_removed,
             "pre_ands_removed": self.pre_ands_removed,
             "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
+            "proof_nodes_trimmed": self.proof_nodes_trimmed,
+            "itp_ands_compacted": self.itp_ands_compacted,
+            "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
         }
 
 

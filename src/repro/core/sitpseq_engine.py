@@ -66,15 +66,14 @@ def compute_serial_sequence(
         parallel = extract_sequence(base_proof, n, cut_maps, aig,
                                     system=options.itp_system)
         for j in range(1, k + 1):
-            elements[j] = parallel.element(j)
-            engine._note_interpolant(aig, elements[j])
+            elements[j] = engine._register_interpolant(aig, parallel.element(j))
         return elements
 
     # Serial element 1 = ITP(A₁, A₂..Aₙ): extract it from the base refutation.
     builder = InterpolantBuilder(aig, base_unroller.cut_var_map(1),
                                  system=options.itp_system)
-    elements[1] = builder.extract(base_proof, a_partitions=[1])
-    engine._note_interpolant(aig, elements[1])
+    elements[1] = engine._register_interpolant(
+        aig, builder.extract(base_proof, a_partitions=[1]))
 
     # Serial elements 2..n_serial: one SAT call each on a shortened unrolling
     # whose frame 0 is constrained to the previous element (Eq. (3)).
@@ -88,8 +87,9 @@ def compute_serial_sequence(
             raise RuntimeError("serial interpolation step unexpectedly satisfiable")
         step_builder = InterpolantBuilder(aig, unroller.cut_var_map(1),
                                           system=options.itp_system)
-        elements[j] = step_builder.extract(unroller.solver.proof(), a_partitions=[1])
-        engine._note_interpolant(aig, elements[j])
+        elements[j] = engine._register_interpolant(
+            aig, step_builder.extract(engine._reduced_proof(unroller.solver),
+                                      a_partitions=[1]))
 
     # Remaining elements n_serial+1 .. k: parallel extraction from one more
     # refutation of I_{n_serial} ∧ Γ_{n_serial+1..n}.
@@ -101,11 +101,12 @@ def compute_serial_sequence(
             raise RuntimeError("parallel remainder of the serial sequence "
                                "unexpectedly satisfiable")
         cut_maps = {j: unroller.cut_var_map(j) for j in range(1, suffix_depth + 1)}
-        remainder = extract_sequence(unroller.solver.proof(), suffix_depth + 1,
+        remainder = extract_sequence(engine._reduced_proof(unroller.solver),
+                                     suffix_depth + 1,
                                      cut_maps, aig, system=options.itp_system)
         for offset in range(1, suffix_depth + 1):
-            elements[n_serial + offset] = remainder.element(offset)
-            engine._note_interpolant(aig, elements[n_serial + offset])
+            elements[n_serial + offset] = engine._register_interpolant(
+                aig, remainder.element(offset))
     return elements
 
 
@@ -163,7 +164,8 @@ class SerialItpSeqEngine(ItpSeqEngine):
                 return self._fail(k, unroller.extract_trace(k))
 
             elements = compute_serial_sequence(self, self.model, k,
-                                               unroller.solver.proof(), unroller)
+                                               self._reduced_proof(unroller.solver),
+                                               unroller)
             outcome = self._update_columns(columns, elements, k, init_predicate)
             if outcome is not None:
                 return outcome

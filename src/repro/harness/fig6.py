@@ -9,7 +9,7 @@ top of the figure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..circuits.suite import SuiteInstance, full_suite
 from .records import InstanceRecord
@@ -71,7 +71,9 @@ def fig6_summary(records: Iterable[InstanceRecord],
     reports the cumulative clause additions and the per-call conflict peak,
     relating runtimes to the incremental-vs-monolithic encoding effort,
     plus the total AND gates preprocessing removed across the population
-    (0 on preprocessing-off runs).
+    (0 on preprocessing-off runs) and the cone-gate encodings the
+    persistent fixpoint checker served from its cache (0 for engines
+    without containment checks or with the lifecycle off).
     """
     records = list(records)
     rows: List[List[object]] = []
@@ -86,7 +88,8 @@ def fig6_summary(records: Iterable[InstanceRecord],
                      sum(r.clauses_added for r in engine_records),
                      max((r.max_call_conflicts for r in engine_records),
                          default=0),
-                     sum(r.pre_ands_removed for r in engine_records)])
+                     sum(r.pre_ands_removed for r in engine_records),
+                     sum(r.fixpoint_encodings_reused for r in engine_records)])
     return rows
 
 
@@ -130,7 +133,7 @@ def render_fig6(records: Iterable[InstanceRecord],
         return format_csv(headers, rows)
     summary_headers = ["engine", "instances", "solved", "time(solved)",
                        "time(total)", "clauses_added", "max_call_conflicts",
-                       "pre_ands_removed"]
+                       "pre_ands_removed", "fixpoint_reused"]
     summary_rows = fig6_summary(records, engines)
     if deterministic:
         summary_headers, summary_rows = drop_time_columns(summary_headers,
@@ -147,7 +150,8 @@ def render_fig6(records: Iterable[InstanceRecord],
 
 def run_fig6(instances: Optional[Iterable[SuiteInstance]] = None,
              config: Optional[HarnessConfig] = None,
-             progress: Optional[callable] = None) -> List[InstanceRecord]:
+             progress: Optional[Callable[[str, float, InstanceRecord], None]] = None
+             ) -> List[InstanceRecord]:
     """Run the Fig. 6 experiment (same batch as Table I, BDDs optional)."""
     config = config or HarnessConfig(engines=TABLE1_ENGINES, run_bdds=False)
     runner = ExperimentRunner(config)

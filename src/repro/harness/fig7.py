@@ -23,7 +23,7 @@ order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..bmc.checks import BmcCheckKind
 from ..circuits.suite import SuiteInstance, full_suite, get_instance
@@ -83,7 +83,8 @@ def run_fig7(instances: Optional[Iterable[SuiteInstance]] = None,
              max_clauses: Optional[int] = None,
              max_propagations: Optional[int] = None,
              jobs: Optional[int] = 1,
-             progress: Optional[callable] = None) -> List[Fig7Point]:
+             progress: Optional[Callable[[str, Fig7Point], None]] = None
+             ) -> List[Fig7Point]:
     """Run the engine twice per instance (exact-k, then assume-k).
 
     Instances must come from the registry suite: every cell — serial or

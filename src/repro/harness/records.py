@@ -26,7 +26,11 @@ class EngineRecord:
     The ``pre_*`` columns record what the preprocessing pipeline removed
     before the engine encoded anything (latches / AND gates of the model,
     plus the clauses the CNF pass eliminated from containment checks);
-    all zero when the run had preprocessing disabled.
+    all zero when the run had preprocessing disabled.  The interpolant
+    lifecycle columns (``proof_nodes_trimmed`` / ``itp_ands_compacted`` /
+    ``fixpoint_encodings_reused``) record what proof trimming, cone
+    compaction and the persistent containment checker saved; zero for the
+    non-interpolation engines or with the lifecycle toggles off.
     """
 
     engine: str
@@ -46,6 +50,9 @@ class EngineRecord:
     pre_latches_removed: int = 0
     pre_ands_removed: int = 0
     pre_cnf_clauses_eliminated: int = 0
+    proof_nodes_trimmed: int = 0
+    itp_ands_compacted: int = 0
+    fixpoint_encodings_reused: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -67,6 +74,9 @@ class EngineRecord:
             pre_latches_removed=result.stats.pre_latches_removed,
             pre_ands_removed=result.stats.pre_ands_removed,
             pre_cnf_clauses_eliminated=result.stats.pre_cnf_clauses_eliminated,
+            proof_nodes_trimmed=result.stats.proof_nodes_trimmed,
+            itp_ands_compacted=result.stats.itp_ands_compacted,
+            fixpoint_encodings_reused=result.stats.fixpoint_encodings_reused,
         )
 
     @property
@@ -92,6 +102,9 @@ class EngineRecord:
             "pre_latches_removed": self.pre_latches_removed,
             "pre_ands_removed": self.pre_ands_removed,
             "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
+            "proof_nodes_trimmed": self.proof_nodes_trimmed,
+            "itp_ands_compacted": self.itp_ands_compacted,
+            "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
         }
 
     def as_deterministic_dict(self) -> Dict[str, object]:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..bdd.checker import BddVerdict, check_with_bdds
 from ..circuits.suite import SuiteInstance, full_suite, get_instance, quick_suite
@@ -37,7 +37,11 @@ from ..core.portfolio import ENGINES, run_engine
 from ..parallel import parallel_map
 from .records import EngineRecord, InstanceRecord
 
-__all__ = ["HarnessConfig", "ExperimentRunner"]
+__all__ = ["HarnessConfig", "ExperimentRunner", "ProgressCallback"]
+
+#: Per-instance progress callback: ``(instance_name, elapsed_seconds,
+#: record)``, fired once per instance in suite order.
+ProgressCallback = Callable[[str, float, InstanceRecord], None]
 
 
 @dataclass
@@ -163,7 +167,7 @@ class ExperimentRunner:
     # Batches
     # ------------------------------------------------------------------ #
     def run_suite(self, instances: Optional[Iterable[SuiteInstance]] = None,
-                  progress: Optional[callable] = None,
+                  progress: Optional[ProgressCallback] = None,
                   jobs: Optional[int] = None) -> List[InstanceRecord]:
         """Run the whole suite; returns one record per instance.
 
@@ -190,7 +194,7 @@ class ExperimentRunner:
         return self._run_suite_pooled(instances, progress, effective_jobs)
 
     def _run_suite_pooled(self, instances: List[SuiteInstance],
-                          progress: Optional[callable],
+                          progress: Optional[ProgressCallback],
                           jobs: Optional[int]) -> List[InstanceRecord]:
         """Fan engine × instance cells over a pool; merge in suite order."""
         for instance in instances:
@@ -244,7 +248,7 @@ class ExperimentRunner:
                 progress(instance.name, elapsed, record)
         return records
 
-    def run_quick(self, progress: Optional[callable] = None,
+    def run_quick(self, progress: Optional[ProgressCallback] = None,
                   jobs: Optional[int] = None) -> List[InstanceRecord]:
         """Run the fast subset of the suite."""
         return self.run_suite(quick_suite(), progress=progress, jobs=jobs)

@@ -10,7 +10,7 @@ frames built, its j_fp the fixpoint frame index).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..circuits.suite import SuiteInstance, full_suite
 from .records import InstanceRecord
@@ -140,7 +140,8 @@ def render_table1(records: Iterable[InstanceRecord],
 
 def run_table1(instances: Optional[Iterable[SuiteInstance]] = None,
                config: Optional[HarnessConfig] = None,
-               progress: Optional[callable] = None) -> List[InstanceRecord]:
+               progress: Optional[Callable[[str, float, InstanceRecord], None]] = None
+               ) -> List[InstanceRecord]:
     """Run the Table I experiment and return the per-instance records."""
     runner = ExperimentRunner(config or HarnessConfig(engines=TABLE1_ENGINES))
     return runner.run_suite(instances if instances is not None else full_suite(),

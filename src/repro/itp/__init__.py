@@ -22,3 +22,10 @@ __all__ += [
     "check_sequence_conditions",
     "itp_support_vars",
 ]
+
+from .compact import ConeCompaction, compact_cone
+
+__all__ += [
+    "ConeCompaction",
+    "compact_cone",
+]

@@ -64,13 +64,22 @@ class InterpolantBuilder:
     # Public API
     # ------------------------------------------------------------------ #
     def extract(self, proof: ResolutionProof,
-                a_partitions: Iterable[int]) -> int:
-        """Return the AIG literal of ITP(A, B) for the given A-side partitions."""
+                a_partitions: Iterable[int],
+                core_order: Optional[Sequence[int]] = None) -> int:
+        """Return the AIG literal of ITP(A, B) for the given A-side partitions.
+
+        The proof may be a raw solver trace or a reduced refutation from
+        :func:`repro.sat.proof.reduce_proof` — extraction only walks the
+        core DAG, so a trimmed proof with recycled pivots yields smaller
+        partial-interpolant cones at no loss of validity.  ``core_order``
+        lets callers extracting several cuts from one proof (sequence
+        extraction) share a single core walk.
+        """
         if not proof.is_refutation():
             raise InterpolationError("proof does not derive the empty clause")
         classes = classify_variables(proof, a_partitions)
         partial: Dict[int, int] = {}
-        core = proof.core_ids()
+        core = proof.core_ids() if core_order is None else core_order
         for cid in core:
             node = proof.node(cid)
             if node.is_original:

@@ -88,12 +88,16 @@ def extract_sequence(
         raise InterpolationError(
             f"proof contains partition labels outside 1..{num_partitions}: {unknown}")
 
+    # One core walk serves every cut: the refutation (reduced or raw) is
+    # shared, only the (A, B) split moves.
+    core_order = proof.core_ids()
     elements: List[int] = [TRUE]
     for j in range(1, num_partitions):
         var_map = cut_var_maps.get(j)
         if var_map is None:
             raise InterpolationError(f"no cut variable map supplied for cut {j}")
         builder = InterpolantBuilder(aig, var_map, system=system)
-        elements.append(builder.extract(proof, a_partitions=range(1, j + 1)))
+        elements.append(builder.extract(proof, a_partitions=range(1, j + 1),
+                                        core_order=core_order))
     elements.append(FALSE)
     return InterpolationSequence(elements)

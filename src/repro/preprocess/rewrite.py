@@ -25,15 +25,15 @@ un-shares a multi-fanout child), the pass returns the model unchanged.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
-from ..aig.aig import FALSE, TRUE, Aig, lit_negate, lit_sign, lit_var
+from ..aig.aig import FALSE, TRUE, Aig, lit_from_var, lit_negate, lit_sign, lit_var
 from ..aig.model import Model
 from .modelmap import ModelMap
 from .passes import Pass, PassResult
 from .rebuild import rebuild_model
 
-__all__ = ["RewritePass", "rewrite_and"]
+__all__ = ["RewritePass", "rewrite_and", "rewrite_cone"]
 
 #: Conjunctions wider than this are not flattened (bounds chain rebuilds).
 _MAX_FLAT_WIDTH = 8
@@ -91,14 +91,28 @@ def rewrite_and(aig: Aig, a: int, b: int) -> int:
     return out
 
 
-def _copy_rewritten(src: Aig, dst: Aig, var_map: Dict[int, int], lit: int) -> int:
-    """Copy a literal's cone into ``dst``, rewriting every AND on the way."""
+def _copy_rewritten(src: Aig, dst: Aig, var_map: Dict[int, int], lit: int,
+                    identity_leaves: bool) -> int:
+    """Copy a literal's cone into ``dst``, rewriting every AND on the way.
+
+    With ``identity_leaves`` (the in-place ``rewrite_cone`` mode, where
+    ``dst is src``) input/latch leaves missing from ``var_map`` map to
+    themselves; otherwise every leaf must have been declared up front.
+    """
     root_var = lit_var(lit)
     if root_var not in var_map:
         stack: List[int] = [root_var]
         while stack:
             var = stack[-1]
             if var in var_map:
+                stack.pop()
+                continue
+            if not src.is_and(var):
+                if not identity_leaves:
+                    raise KeyError(
+                        f"leaf variable {var} has no mapping in the "
+                        "destination AIG")
+                var_map[var] = lit_from_var(var)
                 stack.pop()
                 continue
             gate = src.and_gate(var)
@@ -119,6 +133,36 @@ def _map_lit(var_map: Dict[int, int], lit: int) -> int:
     return lit_negate(mapped) if lit_sign(lit) else mapped
 
 
+def rewrite_cone(src: Aig, roots: Sequence[int], dst: Optional[Aig] = None,
+                 leaf_map: Optional[Mapping[int, int]] = None) -> List[int]:
+    """Rebuild the cones of ``roots`` through the rewriting rules.
+
+    This is the cone-level form of the rewrite pass — the one-level Boolean
+    rules plus AND-tree flattening of :func:`rewrite_and`, applicable to
+    *arbitrary* literals rather than to a whole model:
+
+    * ``dst is None`` (the default) rebuilds the cones **in place**: new,
+      normalised gates are added to ``src`` itself (structural hashing
+      shares whatever already exists) and leaves map to themselves.  This
+      is the interpolant-compaction mode (:mod:`repro.itp.compact`): the
+      returned literal denotes the same function as the input root, over
+      the same leaves, usually through a smaller cone.
+    * With an explicit ``dst`` and ``leaf_map`` (source leaf variable →
+      destination literal) the cones are copied *across* AIGs, which is
+      how :class:`RewritePass` rebuilds a whole model into a scratch AIG.
+
+    All roots share one rewrite map, so common subcones normalise once.
+    Returns the rewritten literal for each root, in order.
+    """
+    target = src if dst is None else dst
+    identity = dst is None
+    var_map: Dict[int, int] = {0: FALSE}
+    if leaf_map is not None:
+        var_map.update(leaf_map)
+    return [_copy_rewritten(src, target, var_map, root, identity)
+            for root in roots]
+
+
 class RewritePass(Pass):
     """Two-level AND rewriting + duplicate-cone merging; never grows the AIG."""
 
@@ -131,19 +175,20 @@ class RewritePass(Pass):
         # as garbage, so a second, plain copy garbage-collects: only the
         # cones the model observes survive.
         scratch = Aig(aig.name)
-        var_map: Dict[int, int] = {0: FALSE}
+        leaf_map: Dict[int, int] = {}
         for var in aig.input_vars():
-            var_map[var] = scratch.add_input(aig.input_name(var))
+            leaf_map[var] = scratch.add_input(aig.input_name(var))
         for latch in aig.latches:
-            var_map[latch.var] = scratch.add_latch(init=latch.init,
-                                                   name=latch.name)
+            leaf_map[latch.var] = scratch.add_latch(init=latch.init,
+                                                    name=latch.name)
         bad = aig.bad[model.property_index]
-        scratch_nexts = {latch.var: _copy_rewritten(aig, scratch, var_map,
-                                                    latch.next)
-                         for latch in aig.latches}
-        scratch_bad = _copy_rewritten(aig, scratch, var_map, bad)
-        scratch_constraints = [_copy_rewritten(aig, scratch, var_map, c)
-                               for c in aig.constraints]
+        roots = ([latch.next for latch in aig.latches] + [bad]
+                 + list(aig.constraints))
+        rewritten = rewrite_cone(aig, roots, dst=scratch, leaf_map=leaf_map)
+        scratch_nexts = {latch.var: rewritten[i]
+                         for i, latch in enumerate(aig.latches)}
+        scratch_bad = rewritten[len(aig.latches)]
+        scratch_constraints = rewritten[len(aig.latches) + 1:]
 
         result, model_map = rebuild_model(
             interface=model,

@@ -25,7 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..cnf.cnf import Clause
 
-__all__ = ["ProofNode", "ResolutionProof", "ProofError", "check_proof"]
+__all__ = ["ProofNode", "ResolutionProof", "ProofError", "check_proof",
+           "ProofReductionStats", "reduce_proof"]
 
 
 class ProofError(ValueError):
@@ -180,6 +181,262 @@ def _resolve_chain(proof: ResolutionProof, node: ProofNode) -> Clause:
         antecedent = proof.node(antecedent_id).clause
         current = current.resolve(antecedent, pivot)
     return current
+
+
+# --------------------------------------------------------------------- #
+# Proof post-processing (trimming + RecyclePivots)
+# --------------------------------------------------------------------- #
+@dataclass
+class ProofReductionStats:
+    """What :func:`reduce_proof` removed from a refutation.
+
+    ``nodes_trimmed`` is the headline counter threaded into the engines'
+    statistics: how many proof nodes the reduced refutation no longer
+    carries (off-core derived clauses, plus chains that RecyclePivots
+    collapsed into an alias for one of their premises).
+    """
+
+    nodes_before: int = 0
+    nodes_after: int = 0
+    steps_dropped: int = 0
+    clauses_strengthened: int = 0
+
+    @property
+    def nodes_trimmed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+def _chain_pivot_literal(pivot: int, antecedent: Clause) -> Optional[int]:
+    """The pivot literal as it occurs in the antecedent clause (or ``None``)."""
+    if pivot in antecedent.literals:
+        return pivot
+    if -pivot in antecedent.literals:
+        return -pivot
+    return None
+
+
+def _mark_recyclable(proof: ResolutionProof, derived_core: List["ProofNode"],
+                     refcount: Dict[int, int]
+                     ) -> Tuple[Dict[int, int], Dict[int, Set[int]]]:
+    """RecyclePivots marking pass over the core's chains.
+
+    Walks the derivation DAG from the empty clause towards the leaves,
+    maintaining per (virtual) resolvent the set of *safe literals* — pivot
+    literals guaranteed to be resolved away again on the (unique) path down
+    to the root.  A resolution step whose pivot is already safe is
+    redundant: the premise carrying the safe literal can replace the
+    resolvent, because the extra literal it leaves behind dies downstream
+    anyway.  Nodes referenced from more than one chain get an empty safe
+    set (the paths below them diverge), the classic single-child
+    restriction of RecyclePivots.
+
+    Returns ``(start_at, dropped)``: for each chain, the step index the
+    reconstruction should start from (0 = the recorded start clause) and
+    the set of step indices to drop.
+    """
+    rl: Dict[int, Set[int]] = {}
+    live: Set[int] = set()
+    start_at: Dict[int, int] = {}
+    dropped: Dict[int, Set[int]] = {}
+    root_id = proof.empty_clause_id
+    assert root_id is not None
+    live.add(root_id)
+    rl[root_id] = set()
+
+    for node in reversed(derived_core):
+        cid = node.clause_id
+        if cid not in live:
+            continue  # every reference to this chain was recycled away
+        safe = rl.get(cid, set()) if refcount.get(cid, 0) <= 1 else set()
+        start = 0
+        drops: Set[int] = set()
+        chain = node.chain
+        for index in range(len(chain) - 1, 0, -1):
+            pivot, antecedent_id = chain[index]
+            assert pivot is not None
+            lit = _chain_pivot_literal(pivot, proof.node(antecedent_id).clause)
+            if lit is None:
+                # Defensive: a malformed step; keep it, stop propagating.
+                safe = set()
+                continue
+
+            def _note_antecedent(contribution: Set[int]) -> None:
+                ante = proof.node(antecedent_id)
+                if not ante.is_original:
+                    live.add(antecedent_id)
+                    if refcount.get(antecedent_id, 0) == 1:
+                        rl[antecedent_id] = contribution
+                    else:
+                        rl[antecedent_id] = set()
+
+            if -lit in safe:
+                # The prefix side's pivot literal survives harmlessly:
+                # drop this step, keep resolving the prefix.
+                drops.add(index)
+                continue
+            if lit in safe:
+                # The antecedent side's pivot literal is safe below: the
+                # whole prefix (steps 1..index) is bypassed and the chain
+                # restarts at this antecedent.
+                start = index
+                _note_antecedent(set(safe))
+                break
+            _note_antecedent(safe | {lit})
+            safe = safe | {-lit}
+        if start == 0:
+            start_node = proof.node(chain[0][1])
+            if not start_node.is_original:
+                live.add(chain[0][1])
+                if refcount.get(chain[0][1], 0) == 1:
+                    rl[chain[0][1]] = safe
+                else:
+                    rl[chain[0][1]] = set()
+        start_at[cid] = start
+        dropped[cid] = drops
+    return start_at, dropped
+
+
+def reduce_proof(proof: ResolutionProof, recycle_pivots: bool = True
+                 ) -> Tuple[ResolutionProof, ProofReductionStats]:
+    """Return a reduced copy of a refutation, plus what the reduction did.
+
+    Two post-processing passes over the recorded resolution trace:
+
+    * **core trimming** — derived clauses whose chains never feed the empty
+      clause are dropped (the solver records every learned clause, but a
+      typical refutation uses a fraction of them);
+    * **RecyclePivots** (``recycle_pivots=True``) — redundant-pivot
+      elimination in the style of Bar-Ilan et al. (HVC'08): a resolution
+      step whose pivot literal is resolved away again on every path below
+      is bypassed, and a reconstruction replay propagates the resulting
+      clause strengthenings through the remaining chains (a step whose
+      pivot no longer occurs in the intermediate clause is skipped; an
+      antecedent that lost its pivot literal subsumes the resolvent and
+      replaces it).
+
+    Every *original* clause is kept, with its partition label, even when it
+    falls outside the core: interpolation classifies variable locality over
+    the full (A, B) clause sets (see :mod:`repro.itp.labeling`), so keeping
+    the leaves intact guarantees a reduced proof never changes a variable's
+    class — only the derivation DAG above the leaves shrinks.  The reduced
+    proof replays exactly (reconstruction *is* a replay), so it satisfies
+    :func:`check_proof`, and any interpolant extracted from it is a valid
+    interpolant for the original (A, B) split.
+    """
+    if not proof.is_refutation():
+        raise ProofError("only refutations can be reduced")
+    root_id = proof.empty_clause_id
+    assert root_id is not None
+    core = proof.core_ids()
+    derived_core = [proof.node(cid) for cid in core
+                    if not proof.node(cid).is_original]
+
+    refcount: Dict[int, int] = {}
+    for node in derived_core:
+        for _, antecedent_id in node.chain:
+            refcount[antecedent_id] = refcount.get(antecedent_id, 0) + 1
+
+    stats = ProofReductionStats(nodes_before=len(proof))
+    if recycle_pivots:
+        start_at, dropped = _mark_recyclable(proof, derived_core, refcount)
+    else:
+        start_at = {n.clause_id: 0 for n in derived_core}
+        dropped = {n.clause_id: set() for n in derived_core}
+
+    # Reconstruction: replay every surviving chain front to back, applying
+    # the marks and propagating clause strengthenings.  ``alias`` redirects
+    # references to chains that collapsed into a single premise.
+    alias: Dict[int, int] = {}
+    new_clauses: Dict[int, Clause] = {}
+    new_chains: Dict[int, List[Tuple[Optional[int], int]]] = {}
+
+    def resolve_id(cid: int) -> int:
+        while cid in alias:
+            cid = alias[cid]
+        return cid
+
+    def clause_of(cid: int) -> Clause:
+        if cid in new_clauses:
+            return new_clauses[cid]
+        return proof.node(cid).clause
+
+    for node in derived_core:
+        cid = node.clause_id
+        if cid not in start_at:
+            continue  # recycled away entirely (never referenced any more)
+        chain = node.chain
+        start = start_at[cid]
+        drops = dropped[cid]
+        if start == 0:
+            begin_id = resolve_id(chain[0][1])
+        else:
+            begin_id = resolve_id(chain[start][1])
+        current = set(clause_of(begin_id).literals)
+        rebuilt: List[Tuple[Optional[int], int]] = [(None, begin_id)]
+        for index in range(start + 1 if start else 1, len(chain)):
+            if index in drops:
+                stats.steps_dropped += 1
+                continue
+            pivot, antecedent_id = chain[index]
+            assert pivot is not None
+            antecedent_id = resolve_id(antecedent_id)
+            c_pos, c_neg = pivot in current, -pivot in current
+            if not c_pos and not c_neg:
+                # An earlier strengthening already removed the pivot: the
+                # intermediate clause subsumes the would-be resolvent.
+                stats.steps_dropped += 1
+                continue
+            antecedent = clause_of(antecedent_id)
+            d_pos, d_neg = pivot in antecedent, -pivot in antecedent
+            if not d_pos and not d_neg:
+                # The antecedent lost its pivot literal: it subsumes the
+                # resolvent outright and replaces the whole prefix.
+                current = set(antecedent.literals)
+                rebuilt = [(None, antecedent_id)]
+                stats.steps_dropped += 1
+                continue
+            if (c_neg and d_pos) or (c_pos and d_neg):
+                lit = pivot if (c_neg and d_pos) else -pivot
+                current = ((current - {-lit})
+                           | (set(antecedent.literals) - {lit}))
+                rebuilt.append((pivot, antecedent_id))
+            else:
+                # Same polarity on both sides (possible only through a
+                # tautological ancestor): the original step removed the
+                # complement, which the strengthened clause no longer
+                # carries, so skipping preserves subsumption.
+                stats.steps_dropped += 1
+        if len(rebuilt) == 1 and cid != root_id:
+            # The chain collapsed to a copy of its premise: alias it.
+            alias[cid] = rebuilt[0][1]
+            continue
+        replayed = Clause(sorted(current))
+        if len(replayed) < len(node.clause):
+            stats.clauses_strengthened += 1
+        new_clauses[cid] = replayed
+        new_chains[cid] = rebuilt
+
+    # Garbage-collect: only chains reachable from the root survive.
+    needed: Set[int] = set()
+    stack = [root_id]
+    while stack:
+        cid = stack.pop()
+        if cid in needed or cid not in new_chains:
+            continue
+        needed.add(cid)
+        stack.extend(aid for _, aid in new_chains[cid])
+
+    reduced = ResolutionProof()
+    for node in proof.original_nodes():
+        reduced.add_original(node.clause_id, node.clause, node.partition)
+    for node in derived_core:
+        cid = node.clause_id
+        if cid in needed:
+            reduced.add_derived(cid, new_clauses[cid], new_chains[cid])
+    if not reduced.is_refutation():
+        raise ProofError("proof reduction failed to preserve the refutation")
+    stats.nodes_after = len(reduced)
+    return reduced, stats
 
 
 def check_proof(proof: ResolutionProof, require_refutation: bool = True) -> None:

@@ -1,0 +1,75 @@
+"""The size gate on ``implies()``'s CNF-simplification path.
+
+The one-shot containment check only routes through the pure-Python CNF
+simplifier while the *predicted* encoding (3 clauses per AND gate in the
+two cones, plus the two unit constraints) is at most
+``CnfSimplifyConfig.max_clause_count`` — beyond that the check streams
+clauses straight into the solver, because on 100k+-clause interpolant
+cones the simplifier costs multiples of the solve it would shorten.  These
+tests pin the boundary: exactly at the gate, one under, one over — which
+path ran is observed through the ``on_reduction`` callback (only the
+simplified path reports reduction statistics).
+"""
+
+from repro.aig import Aig
+from repro.core.base import implies
+from repro.preprocess.cnfsimp import CnfSimplifyConfig
+
+
+def _chain(aig, leaves):
+    """A simple AND chain over the leaves; cone size == len(leaves) - 1."""
+    out = leaves[0]
+    for leaf in leaves[1:]:
+        out = aig.add_and(out, leaf)
+    return out
+
+
+def _build_check(num_ands):
+    """An implication whose two cones hold exactly ``num_ands`` AND gates."""
+    aig = Aig()
+    leaves = [aig.add_input(f"x{i}") for i in range(num_ands + 1)]
+    antecedent = _chain(aig, leaves)          # num_ands gates
+    consequent = _chain(aig, leaves[:2])      # shares the chain's first gate
+    return aig, antecedent, consequent
+
+
+def _run(num_ands, max_clause_count):
+    aig, antecedent, consequent = _build_check(num_ands)
+    predicted = 3 * num_ands + 2
+    reductions = []
+    config = CnfSimplifyConfig(max_clause_count=max_clause_count)
+    holds = implies(aig, antecedent, consequent, cnf_simplify=config,
+                    on_reduction=reductions.append)
+    assert holds  # the chain implies its own prefix
+    return predicted, reductions
+
+
+def test_predicted_size_exactly_at_gate_runs_simplified():
+    predicted, reductions = _run(num_ands=6, max_clause_count=3 * 6 + 2)
+    assert predicted == 20
+    assert len(reductions) == 1, "at the gate the simplified path must run"
+    assert reductions[0].clauses_before == predicted
+
+
+def test_predicted_size_one_under_gate_runs_simplified():
+    _, reductions = _run(num_ands=6, max_clause_count=3 * 6 + 3)
+    assert len(reductions) == 1
+
+
+def test_predicted_size_one_over_gate_streams_raw():
+    _, reductions = _run(num_ands=6, max_clause_count=3 * 6 + 1)
+    assert reductions == [], "over the gate the check must stream clauses raw"
+
+
+def test_gate_decision_uses_shared_cone_not_sum_of_cones():
+    """The prediction walks the *union* of the two cones once: a consequent
+    nested inside the antecedent's cone adds no predicted clauses."""
+    aig = Aig()
+    leaves = [aig.add_input(f"x{i}") for i in range(5)]
+    antecedent = _chain(aig, leaves)  # 4 gates
+    consequent = _chain(aig, leaves[:3])  # 2 gates, all shared
+    reductions = []
+    config = CnfSimplifyConfig(max_clause_count=3 * 4 + 2)
+    assert implies(aig, antecedent, consequent, cnf_simplify=config,
+                   on_reduction=reductions.append)
+    assert len(reductions) == 1

@@ -21,6 +21,31 @@ def unsafe_aag(tmp_path):
     return path
 
 
+def test_version_flag_prints_package_version(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as info:
+        main(["--version"])
+    assert info.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_lifecycle_flags_disable_the_counters(safe_aag, capsys):
+    assert main([safe_aag, "--engine", "itpseq", "--stats"]) == 0
+    lifecycle_on = capsys.readouterr().out
+    assert main([safe_aag, "--engine", "itpseq", "--stats",
+                 "--no-proof-reduce", "--no-itp-compact",
+                 "--no-incremental-fixpoint"]) == 0
+    lifecycle_off = capsys.readouterr().out
+    assert "pass" in lifecycle_on and "pass" in lifecycle_off
+    # With the lifecycle off every lifecycle counter reads zero.
+    for counter in ("proof_nodes_trimmed", "itp_ands_compacted",
+                    "fixpoint_encodings_reused"):
+        assert f"{counter}: 0" in lifecycle_off
+    # With it on, the persistent checker reuses encodings on this model.
+    assert "fixpoint_encodings_reused: 0" not in lifecycle_on
+
+
 def test_list_engines_includes_all_five(capsys):
     assert main(["--list-engines"]) == 0
     out = capsys.readouterr().out
