@@ -7,6 +7,7 @@ Examples::
     python -m repro design.aag --engine portfolio --stats
     python -m repro design.aag --engine portfolio --race --jobs 4
     python -m repro design.aag --no-preprocess --stats
+    python -m repro design.aag --passes coi,fraig,cnf --stats
     python -m repro --list-engines
     python -m repro --list-instances
 
@@ -80,11 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--preprocess", dest="preprocess", action="store_true",
                         default=True,
                         help="run the model-preprocessing pipeline before "
-                             "the engine (COI + sweeping + rewriting + CNF "
-                             "elimination; the default)")
+                             "the engine (COI + sweeping + rewriting + "
+                             "fraiging + CNF elimination; the default)")
     parser.add_argument("--no-preprocess", dest="preprocess",
                         action="store_false",
                         help="encode the raw circuit without preprocessing")
+    parser.add_argument("--passes", default=None, metavar="NAMES",
+                        help="comma-separated preprocessing pass names to run "
+                             "instead of the default pipeline (e.g. "
+                             "'coi,fraig'; an empty string selects no "
+                             "passes); unknown names exit with status 2")
     parser.add_argument("--no-proof-reduce", dest="proof_reduce",
                         action="store_false", default=True,
                         help="extract interpolants from the raw resolution "
@@ -179,10 +185,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 3
 
+    preprocess_passes = None
+    if args.passes is not None:
+        if not args.preprocess:
+            parser.print_usage(sys.stderr)
+            print("error: --passes conflicts with --no-preprocess",
+                  file=sys.stderr)
+            return 3
+        from .preprocess.passes import validate_pass_names
+
+        names = tuple(n for n in args.passes.split(",") if n)
+        try:
+            preprocess_passes = validate_pass_names(names)
+        except ValueError as exc:
+            # Unknown pass names leave the run unanswered, not misused:
+            # the documented "no answer" status (2), not the usage one.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     options = EngineOptions(max_bound=args.max_bound,
                             time_limit=args.time_limit,
                             validate_traces=not args.no_validate,
                             preprocess=args.preprocess,
+                            preprocess_passes=preprocess_passes,
                             proof_reduce=args.proof_reduce,
                             itp_compact=args.itp_compact,
                             fixpoint_incremental=args.fixpoint_incremental)

@@ -46,7 +46,16 @@ from .ops import (
     copy_cone,
     structural_levels,
 )
-from .simulate import SequentialSimulator, lit_value, simulate_comb, simulate_sequence
+from .simulate import (
+    SequentialSimulator,
+    lit_value,
+    random_leaf_words,
+    random_stimulus_rounds,
+    simulate_comb,
+    simulate_sequence,
+    ternary_lit_value,
+    ternary_simulate_comb,
+)
 
 __all__ = [
     "FALSE",
@@ -81,6 +90,10 @@ __all__ = [
     "structural_levels",
     "SequentialSimulator",
     "lit_value",
+    "random_leaf_words",
+    "random_stimulus_rounds",
     "simulate_comb",
     "simulate_sequence",
+    "ternary_lit_value",
+    "ternary_simulate_comb",
 ]

@@ -31,6 +31,18 @@ class LiteralMapper:
     structure in the destination.  Leaves (inputs and latches) must be
     pre-seeded through ``map_leaf`` or the ``leaf_map`` constructor argument;
     unseeded leaves raise ``KeyError`` so silent mis-wiring cannot happen.
+
+    ``redirects`` maps source AND variables to *source* literals they should
+    be replaced by: whenever a redirected variable is reached — as a copy
+    root or inside a cone — the mapper copies the target literal's cone
+    instead and records the result, so the variable's own gate (and any
+    subcone only it observes) never enters the destination.  This is the
+    substitution primitive behind fraiging: each SAT-proven equivalent node
+    redirects to its class representative (possibly complemented, possibly
+    a constant), and every observed cone is rewritten over representatives
+    in one pass.  Redirect targets must be topologically no later than the
+    redirected variable (fraig representatives are the earliest member of
+    their class), which rules out cycles.
     """
 
     def __init__(
@@ -38,11 +50,14 @@ class LiteralMapper:
         src: Aig,
         dst: Aig,
         leaf_map: Optional[Mapping[int, int]] = None,
+        redirects: Optional[Mapping[int, int]] = None,
     ) -> None:
         self.src = src
         self.dst = dst
         #: variable in ``src`` -> literal in ``dst``
         self._var_map: Dict[int, int] = {0: FALSE}
+        #: variable in ``src`` -> replacement literal in ``src``
+        self._redirects: Dict[int, int] = dict(redirects or {})
         if leaf_map:
             for var, lit in leaf_map.items():
                 self._var_map[var] = lit
@@ -64,10 +79,10 @@ class LiteralMapper:
         cached = self._var_map.get(var)
         if cached is not None:
             return cached
-        kind = self.src.node_kind(var)
-        if kind != "and":
+        if var not in self._redirects and self.src.node_kind(var) != "and":
             raise KeyError(
-                f"leaf variable {var} ({kind}) has no mapping into the destination AIG")
+                f"leaf variable {var} ({self.src.node_kind(var)}) has no mapping "
+                "into the destination AIG")
         # Iterative post-order copy to avoid recursion limits on deep cones.
         stack = [var]
         while stack:
@@ -75,16 +90,34 @@ class LiteralMapper:
             if v in self._var_map:
                 stack.pop()
                 continue
+            redirect = self._redirects.get(v)
+            if redirect is not None:
+                target_var = lit_var(redirect)
+                if target_var in self._var_map:
+                    self._var_map[v] = self._map_lit_shallow(redirect)
+                    stack.pop()
+                else:
+                    if (target_var not in self._redirects
+                            and self.src.node_kind(target_var) != "and"):
+                        raise KeyError(
+                            f"redirect target variable {target_var} "
+                            f"({self.src.node_kind(target_var)}) has no mapping "
+                            "into the destination AIG")
+                    stack.append(target_var)
+                continue
             gate = self.src.and_gate(v)
             left_var, right_var = lit_var(gate.left), lit_var(gate.right)
             pending = []
             for u in (left_var, right_var):
                 if u not in self._var_map:
-                    if self.src.node_kind(u) != "and":
+                    if u in self._redirects:
+                        pending.append(u)
+                    elif self.src.node_kind(u) != "and":
                         raise KeyError(
                             f"leaf variable {u} ({self.src.node_kind(u)}) has no mapping "
                             "into the destination AIG")
-                    pending.append(u)
+                    else:
+                        pending.append(u)
             if pending:
                 stack.extend(pending)
                 continue

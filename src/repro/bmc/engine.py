@@ -75,12 +75,17 @@ class BmcEngine:
     lifts any counterexample back to the original variables before
     validating and reporting it; failure depths and verdicts are identical
     either way.  The CNF-level pass is not consulted — BMC has no
-    containment checks, so only the model passes apply.
+    containment checks, so only the model passes apply (by default COI,
+    sweeping, rewriting and fraiging; override with ``preprocess_passes``).
     """
+
+    #: Default pipeline: every model pass, no encoding-time CNF pass.
+    DEFAULT_PASSES = ("coi", "sweep", "coi", "rewrite", "fraig")
 
     def __init__(self, model: Model, check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
                  validate_traces: bool = True, incremental: bool = True,
-                 preprocess: bool = True) -> None:
+                 preprocess: bool = True,
+                 preprocess_passes: Optional[tuple] = None) -> None:
         self.source_model = model
         self._preprocess = None
         self._preprocess_seconds = 0.0
@@ -91,7 +96,8 @@ class BmcEngine:
             # the encoding-time CNF pass would be dead work.
             started = time.monotonic()
             self._preprocess = build_pipeline(
-                ("coi", "sweep", "coi", "rewrite")).run(model)
+                self.DEFAULT_PASSES if preprocess_passes is None
+                else preprocess_passes).run(model)
             self._preprocess_seconds = time.monotonic() - started
             self.model = self._preprocess.model
         else:

@@ -196,6 +196,16 @@ def redundant_suite() -> List[SuiteInstance]:
                       lambda: gen.duplicated_pattern(6, 3, reachable=True),
                       "fail", "redundant", expected_depth=6,
                       description="duplicated matchers seeing all-ones at depth 6"),
+        # Length 10 defeats the rewriter's sorted-chain flattening window
+        # (_MAX_FLAT_WIDTH = 8), so only the fraig pass can merge the three
+        # matcher copies — the SAT-sweeping showcase pair.
+        SuiteInstance("red_dup10", lambda: gen.duplicated_pattern(10, 3),
+                      "pass", "redundant",
+                      description="3 duplicated matchers too wide for rewriting"),
+        SuiteInstance("red_dup10bug",
+                      lambda: gen.duplicated_pattern(10, 3, reachable=True),
+                      "fail", "redundant", expected_depth=10,
+                      description="wide duplicated matchers failing at depth 10"),
     ]
 
 

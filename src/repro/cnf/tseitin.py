@@ -66,6 +66,12 @@ class TseitinEncoder:
         self._allocate_leaves = allocate_leaves
         self._var_map: Dict[int, int] = {}
         self._const_var: Optional[int] = None
+        #: Optional observer invoked with the AIG variable each time an AND
+        #: gate receives its CNF variable (i.e. its definitional clauses are
+        #: emitted).  The fixpoint checker uses it to record which gates a
+        #: retractable clause group owns, so the group can later be shed
+        #: together with its :meth:`forget` of exactly those variables.
+        self.on_gate: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------ #
     # Variable mapping
@@ -84,6 +90,26 @@ class TseitinEncoder:
     def var_map(self) -> Dict[int, int]:
         """Return a copy of the current AIG-var -> CNF-var mapping."""
         return dict(self._var_map)
+
+    def forget(self, aig_vars: Iterable[int]) -> None:
+        """Drop the CNF variables of some already-encoded AND gates.
+
+        A forgotten gate is re-encoded — with a *fresh* CNF variable and
+        fresh definitional clauses — the next time a cone containing it is
+        requested.  The caller must ensure no still-active clause depends on
+        the forgotten variables being *defined* (the fixpoint checker pairs
+        every ``forget`` with releasing the clause group that owns exactly
+        those gates' clauses).  Only AND gates may be forgotten: leaves keep
+        their variables for the encoder's lifetime, so cones encoded before
+        and after a forget still meet on the same leaf valuation.
+        """
+        for var in aig_vars:
+            if self.aig.node_kind(var) != "and":
+                raise ValueError(
+                    f"refusing to forget leaf variable {var} "
+                    f"({self.aig.node_kind(var)}): leaf CNF variables are "
+                    "shared by every encoded cone")
+            self._var_map.pop(var, None)
 
     def _const_false_var(self) -> int:
         if self._const_var is None:
@@ -147,6 +173,8 @@ class TseitinEncoder:
                 continue
             out = self._new_var()
             self._var_map[var] = out
+            if self.on_gate is not None:
+                self.on_gate(var)
             left = self._lit_shallow(gate.left)
             right = self._lit_shallow(gate.right)
             self._sink([-out, left])

@@ -344,6 +344,23 @@ class UmcEngine:
             raise OutOfBudget(self._current_bound)
         return result is SatResult.UNSAT
 
+    def _shed_fixpoint_groups(self, live_roots: Iterable[int]) -> None:
+        """Shed fixpoint-checker clause groups no live root observes.
+
+        The sequence engines call this once per outer iteration with every
+        predicate a future containment check may mention (S₀, the current
+        columns, the remaining matrix elements): column strengthening
+        replaces ``columns[j]``'s cone wholesale, so the superseded cone's
+        encoding groups would otherwise stay assumed — and their clauses
+        watched — for the rest of the run.  See
+        :meth:`repro.core.fixpoint.FixpointChecker.shed_superseded`; a
+        no-op until the first incremental containment check exists.
+        """
+        if self._fixpoint_checker is None:
+            return
+        self.stats.fixpoint_groups_shed += (
+            self._fixpoint_checker.shed_superseded(live_roots))
+
     def _note_interpolant(self, aig: Aig, itp_lit: int) -> None:
         self.stats.itp_extractions += 1
         self.stats.itp_nodes += cone_size(aig, itp_lit)
@@ -457,6 +474,9 @@ class UmcEngine:
             self.stats.pre_inputs_removed = self.preprocess.inputs_removed
             self.stats.pre_latches_removed = self.preprocess.latches_removed
             self.stats.pre_ands_removed = self.preprocess.ands_removed
+            self.stats.fraig_classes = self.preprocess.fraig_classes
+            self.stats.fraig_merges = self.preprocess.fraig_merges
+            self.stats.fraig_sat_confirms = self.preprocess.fraig_sat_confirms
         self._cex_searcher = None
         self._fixpoint_checker = None
         try:

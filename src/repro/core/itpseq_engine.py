@@ -84,6 +84,17 @@ class ItpSeqEngine(UmcEngine):
         ``columns`` maps j -> ℐⱼ (AIG literal, over this engine's AIG) and is
         updated in place; returns a PASS result when a fixed point is found.
         """
+        # Everything a containment check from here on can mention is S₀,
+        # the columns (strengthening conjoins, so their old cones stay
+        # live as fanins) and this bound's sequence elements.  What is
+        # *not* reachable from these roots — chiefly the R-accumulation
+        # OR spines of earlier bounds, rebuilt from scratch below every
+        # time — is dead weight on the persistent checker: shed those
+        # clause groups before growing the formula further.
+        self._shed_fixpoint_groups(
+            [init_predicate]
+            + [columns[j] for j in sorted(columns)]
+            + list(elements[1:k + 1]))
         reached = init_predicate  # R_{j-1}
         for j in range(1, k):
             columns[j] = self.aig.add_and(columns.get(j, TRUE), elements[j])

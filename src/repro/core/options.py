@@ -85,16 +85,17 @@ class EngineOptions:
     preprocess:
         Run the model-preprocessing pipeline (:mod:`repro.preprocess`)
         before encoding anything: cone-of-influence reduction, stuck-latch
-        sweeping, structural rewriting, and CNF-level elimination on the
-        containment checks.  Counterexamples found on the reduced model are
+        sweeping, structural rewriting, SAT sweeping (fraiging) and
+        CNF-level elimination on the containment checks.  Counterexamples
+        found on the reduced model are
         lifted back to the original variables before validation, so
         verdicts and replayed traces are identical either way — only the
         amount of logic the solver pays for changes.  On by default;
         disable to encode the raw circuit as the seed implementation did.
     preprocess_passes:
         Pass names (in order) for the pipeline; ``None`` selects the
-        default ``('coi', 'sweep', 'coi', 'rewrite', 'cnf')``.  Ignored
-        when ``preprocess`` is off.
+        default ``('coi', 'sweep', 'coi', 'rewrite', 'fraig', 'cnf')``.
+        Ignored when ``preprocess`` is off.
     proof_reduce:
         Post-process every refutation before interpolant extraction: core
         trimming plus the RecyclePivots redundant-pivot pass

@@ -53,7 +53,11 @@ class EngineStats:
     of the run's model (inputs/latches/AND gates removed before any
     encoding happened) and, for ``pre_cnf_clauses_eliminated``, the
     cumulative clauses the CNF-level pass removed from the containment
-    checks.  All stay 0 with ``EngineOptions.preprocess`` off.
+    checks.  All stay 0 with ``EngineOptions.preprocess`` off.  The
+    ``fraig_*`` counters expose the SAT-sweeping pass of the pipeline:
+    candidate equivalence classes examined, nodes merged onto class
+    representatives, and the miter UNSAT answers that proved those merges
+    (they stay 0 when the pipeline contains no ``fraig`` pass).
 
     The interpolant-lifecycle counters measure what the post-extraction
     machinery saved: ``proof_nodes_trimmed`` — proof nodes removed from
@@ -63,8 +67,12 @@ class EngineStats:
     ``fixpoint_encodings_reused`` — cone-gate encodings the persistent
     containment checker served from its cache instead of re-emitting
     (each one is three Tseitin clauses a throwaway solver would have
-    paid again).  They stay 0 with the corresponding
-    ``EngineOptions`` toggles off, and for the PDR/BMC engines.
+    paid again).  ``fixpoint_groups_shed`` counts the checker's clause
+    groups released because column strengthening superseded their cones
+    (:meth:`repro.core.fixpoint.FixpointChecker.shed_superseded`); only
+    the sequence engines shed, so it stays 0 elsewhere.  They stay 0 with
+    the corresponding ``EngineOptions`` toggles off, and for the PDR/BMC
+    engines.
     """
 
     sat_calls: int = 0
@@ -84,9 +92,13 @@ class EngineStats:
     pre_latches_removed: int = 0
     pre_ands_removed: int = 0
     pre_cnf_clauses_eliminated: int = 0
+    fraig_classes: int = 0
+    fraig_merges: int = 0
+    fraig_sat_confirms: int = 0
     proof_nodes_trimmed: int = 0
     itp_ands_compacted: int = 0
     fixpoint_encodings_reused: int = 0
+    fixpoint_groups_shed: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -107,9 +119,13 @@ class EngineStats:
             "pre_latches_removed": self.pre_latches_removed,
             "pre_ands_removed": self.pre_ands_removed,
             "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
+            "fraig_classes": self.fraig_classes,
+            "fraig_merges": self.fraig_merges,
+            "fraig_sat_confirms": self.fraig_sat_confirms,
             "proof_nodes_trimmed": self.proof_nodes_trimmed,
             "itp_ands_compacted": self.itp_ands_compacted,
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
+            "fixpoint_groups_shed": self.fixpoint_groups_shed,
         }
 
 

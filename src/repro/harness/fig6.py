@@ -71,8 +71,9 @@ def fig6_summary(records: Iterable[InstanceRecord],
     reports the cumulative clause additions and the per-call conflict peak,
     relating runtimes to the incremental-vs-monolithic encoding effort,
     plus the total AND gates preprocessing removed across the population
-    (0 on preprocessing-off runs) and the cone-gate encodings the
-    persistent fixpoint checker served from its cache (0 for engines
+    (0 on preprocessing-off runs), the nodes the SAT-sweeping pass merged,
+    the cone-gate encodings the persistent fixpoint checker served from
+    its cache, and the clause groups it shed as superseded (0 for engines
     without containment checks or with the lifecycle off).
     """
     records = list(records)
@@ -89,7 +90,9 @@ def fig6_summary(records: Iterable[InstanceRecord],
                      max((r.max_call_conflicts for r in engine_records),
                          default=0),
                      sum(r.pre_ands_removed for r in engine_records),
-                     sum(r.fixpoint_encodings_reused for r in engine_records)])
+                     sum(r.fraig_merges for r in engine_records),
+                     sum(r.fixpoint_encodings_reused for r in engine_records),
+                     sum(r.fixpoint_groups_shed for r in engine_records)])
     return rows
 
 
@@ -133,7 +136,8 @@ def render_fig6(records: Iterable[InstanceRecord],
         return format_csv(headers, rows)
     summary_headers = ["engine", "instances", "solved", "time(solved)",
                        "time(total)", "clauses_added", "max_call_conflicts",
-                       "pre_ands_removed", "fixpoint_reused"]
+                       "pre_ands_removed", "fraig_merges",
+                       "fixpoint_reused", "fixpoint_shed"]
     summary_rows = fig6_summary(records, engines)
     if deterministic:
         summary_headers, summary_rows = drop_time_columns(summary_headers,

@@ -26,11 +26,14 @@ class EngineRecord:
     The ``pre_*`` columns record what the preprocessing pipeline removed
     before the engine encoded anything (latches / AND gates of the model,
     plus the clauses the CNF pass eliminated from containment checks);
-    all zero when the run had preprocessing disabled.  The interpolant
+    all zero when the run had preprocessing disabled; the ``fraig_*``
+    columns expose the SAT-sweeping pass's effort (classes examined,
+    nodes merged, miter UNSAT proofs).  The interpolant
     lifecycle columns (``proof_nodes_trimmed`` / ``itp_ands_compacted`` /
-    ``fixpoint_encodings_reused``) record what proof trimming, cone
-    compaction and the persistent containment checker saved; zero for the
-    non-interpolation engines or with the lifecycle toggles off.
+    ``fixpoint_encodings_reused`` / ``fixpoint_groups_shed``) record what
+    proof trimming, cone compaction and the persistent containment
+    checker saved or retracted; zero for the non-interpolation engines or
+    with the lifecycle toggles off.
     """
 
     engine: str
@@ -50,9 +53,13 @@ class EngineRecord:
     pre_latches_removed: int = 0
     pre_ands_removed: int = 0
     pre_cnf_clauses_eliminated: int = 0
+    fraig_classes: int = 0
+    fraig_merges: int = 0
+    fraig_sat_confirms: int = 0
     proof_nodes_trimmed: int = 0
     itp_ands_compacted: int = 0
     fixpoint_encodings_reused: int = 0
+    fixpoint_groups_shed: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -74,9 +81,13 @@ class EngineRecord:
             pre_latches_removed=result.stats.pre_latches_removed,
             pre_ands_removed=result.stats.pre_ands_removed,
             pre_cnf_clauses_eliminated=result.stats.pre_cnf_clauses_eliminated,
+            fraig_classes=result.stats.fraig_classes,
+            fraig_merges=result.stats.fraig_merges,
+            fraig_sat_confirms=result.stats.fraig_sat_confirms,
             proof_nodes_trimmed=result.stats.proof_nodes_trimmed,
             itp_ands_compacted=result.stats.itp_ands_compacted,
             fixpoint_encodings_reused=result.stats.fixpoint_encodings_reused,
+            fixpoint_groups_shed=result.stats.fixpoint_groups_shed,
         )
 
     @property
@@ -102,9 +113,13 @@ class EngineRecord:
             "pre_latches_removed": self.pre_latches_removed,
             "pre_ands_removed": self.pre_ands_removed,
             "pre_cnf_clauses_eliminated": self.pre_cnf_clauses_eliminated,
+            "fraig_classes": self.fraig_classes,
+            "fraig_merges": self.fraig_merges,
+            "fraig_sat_confirms": self.fraig_sat_confirms,
             "proof_nodes_trimmed": self.proof_nodes_trimmed,
             "itp_ands_compacted": self.itp_ands_compacted,
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
+            "fixpoint_groups_shed": self.fixpoint_groups_shed,
         }
 
     def as_deterministic_dict(self) -> Dict[str, object]:

@@ -65,12 +65,15 @@ def table1_deterministic_headers(engines: Sequence[str] = TABLE1_ENGINES) -> Lis
     cumulative clause additions (the deterministic effort measure this repo
     judges performance by).  The overflow bound ``k_fp`` stays meaningful
     because artefact runs budget on ``max_clauses``, which trips at the
-    same query everywhere.  ``preFF`` / ``preAND`` report what the
-    preprocessing pipeline removed from the instance before the engines
-    encoded it (identical for every engine of a row, since they share one
-    configuration); both 0 when the run had preprocessing off.
+    same query everywhere.  ``preFF`` / ``preAND`` / ``preFRAIG`` report
+    what the preprocessing pipeline removed from the instance before the
+    engines encoded it — latches swept, AND gates dropped overall, and the
+    subset of nodes the SAT-sweeping pass merged (identical for every
+    engine of a row, since they share one configuration); all 0 when the
+    run had preprocessing off.
     """
-    headers = ["Name", "#PI", "#FF", "preFF", "preAND", "bdd", "d_F", "d_B"]
+    headers = ["Name", "#PI", "#FF", "preFF", "preAND", "preFRAIG",
+               "bdd", "d_F", "d_B"]
     for engine in engines:
         headers += [f"{engine}.verdict", f"{engine}.k_fp", f"{engine}.j_fp",
                     f"{engine}.clauses"]
@@ -78,12 +81,13 @@ def table1_deterministic_headers(engines: Sequence[str] = TABLE1_ENGINES) -> Lis
 
 
 def _preprocess_cells(record: InstanceRecord) -> List[object]:
-    """Latch / AND reduction of the instance (same for every engine cell)."""
+    """Latch / AND / fraig reduction of the instance (engine-independent)."""
     engine_records = list(record.engines.values())
     if not engine_records:
-        return [None, None]
+        return [None, None, None]
     return [max(r.pre_latches_removed for r in engine_records),
-            max(r.pre_ands_removed for r in engine_records)]
+            max(r.pre_ands_removed for r in engine_records),
+            max(r.fraig_merges for r in engine_records)]
 
 
 def table1_deterministic_rows(records: Iterable[InstanceRecord],

@@ -2,8 +2,8 @@
 
 The package provides a composable pass pipeline over
 :class:`~repro.aig.model.Model` objects — cone-of-influence reduction,
-ternary-simulation stuck-latch sweeping, structural rewriting and
-CNF-level bounded variable elimination — plus the
+ternary-simulation stuck-latch sweeping, structural rewriting, SAT
+sweeping (fraiging) and CNF-level bounded variable elimination — plus the
 :class:`~repro.preprocess.modelmap.ModelMap` machinery that lifts
 counterexample traces found on the reduced model back to the original
 inputs and latches, so preprocessing never weakens trace validation.
@@ -17,6 +17,7 @@ from .cnfsimp import (
     unit_propagate,
 )
 from .coi import CoiPass
+from .fraig import FraigConfig, FraigPass, FraigResult, find_equivalences
 from .modelmap import ModelMap
 from .passes import (
     DEFAULT_PASSES,
@@ -39,6 +40,10 @@ __all__ = [
     "simplify_cnf",
     "unit_propagate",
     "CoiPass",
+    "FraigConfig",
+    "FraigPass",
+    "FraigResult",
+    "find_equivalences",
     "ModelMap",
     "DEFAULT_PASSES",
     "PASSES",

@@ -16,6 +16,10 @@ Registered passes (see :data:`PASSES`):
 ``rewrite``
     Two-level structural rewriting on the strashed AIG
     (:class:`~repro.preprocess.rewrite.RewritePass`).
+``fraig``
+    SAT sweeping: random-simulation signature bucketing plus incremental
+    SAT confirmation merges functionally equivalent nodes structural
+    passes cannot see (:class:`~repro.preprocess.fraig.FraigPass`).
 ``cnf``
     CNF-level bounded variable elimination + subsumption
     (:class:`CnfEliminationPass`).  This pass acts at *encoding time*: AIG
@@ -26,9 +30,11 @@ Registered passes (see :data:`PASSES`):
     queries — the containment checks of :func:`repro.core.base.implies` —
     through :func:`~repro.preprocess.cnfsimp.simplify_cnf`.
 
-The default order ``coi, sweep, coi, rewrite, cnf`` runs COI twice on
-purpose: sweeping substitutes constants, which routinely disconnects more
-latches from the property cone; the second COI harvests them.
+The default order ``coi, sweep, coi, rewrite, fraig, cnf`` runs COI twice
+on purpose: sweeping substitutes constants, which routinely disconnects
+more latches from the property cone; the second COI harvests them.
+Fraiging runs after rewriting so its SAT effort is spent only on the
+equivalences the cheap structural normalisation could not expose.
 """
 
 from __future__ import annotations
@@ -173,6 +179,24 @@ class PreprocessResult:
     def ands_removed(self) -> int:
         return self.original.aig.num_ands - self.model.aig.num_ands
 
+    def _extra_total(self, key: str) -> int:
+        return sum(stats.extra.get(key, 0) for stats in self.passes)
+
+    @property
+    def fraig_classes(self) -> int:
+        """Equivalence-candidate classes the fraig pass(es) examined."""
+        return self._extra_total("fraig_classes")
+
+    @property
+    def fraig_merges(self) -> int:
+        """Nodes merged onto class representatives by fraiging."""
+        return self._extra_total("fraig_merges")
+
+    @property
+    def fraig_sat_confirms(self) -> int:
+        """Miter UNSAT answers that proved fraig merges."""
+        return self._extra_total("fraig_sat_confirms")
+
 
 class Pipeline:
     """Run a sequence of passes, composing models, maps and statistics."""
@@ -205,20 +229,22 @@ class Pipeline:
 #: Registry of pass name -> zero-argument factory.
 def _factories():
     from .coi import CoiPass
+    from .fraig import FraigPass
     from .rewrite import RewritePass
     from .sweep import SweepPass
     return {
         "coi": CoiPass,
         "sweep": SweepPass,
         "rewrite": RewritePass,
+        "fraig": FraigPass,
         "cnf": CnfEliminationPass,
     }
 
 
-PASSES = ("coi", "sweep", "rewrite", "cnf")
+PASSES = ("coi", "sweep", "rewrite", "fraig", "cnf")
 
 #: The default pipeline order (see the module docstring for the double COI).
-DEFAULT_PASSES = ("coi", "sweep", "coi", "rewrite", "cnf")
+DEFAULT_PASSES = ("coi", "sweep", "coi", "rewrite", "fraig", "cnf")
 
 
 def validate_pass_names(names: Sequence[str]) -> "tuple":

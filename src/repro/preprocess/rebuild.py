@@ -31,6 +31,7 @@ def rebuild_model(
     src_bad: int,
     src_constraints: Sequence[int],
     substitutions: Optional[Mapping[int, int]] = None,
+    redirects: Optional[Mapping[int, int]] = None,
 ) -> Tuple[Model, ModelMap]:
     """Copy a model out of ``src``, keeping ``interface``'s names and inits.
 
@@ -53,6 +54,12 @@ def rebuild_model(
     substitutions:
         Optional ``src var -> constant literal`` overrides for leaves that
         are *not* kept (e.g. swept latches pinned to their stuck value).
+    redirects:
+        Optional ``src AND var -> src literal`` replacements resolved
+        *during* the copy (see :class:`~repro.aig.ops.LiteralMapper`):
+        redirected gates are rewritten to their target's copied cone, which
+        is how the fraiging pass substitutes SAT-proven equivalent nodes by
+        their class representatives.
     """
     rebuilt = Aig(src.name)
     leaf_map: Dict[int, int] = dict(substitutions or {})
@@ -67,7 +74,7 @@ def rebuild_model(
         leaf_map[src_var] = new_lit
         latch_map[orig_latch.var] = lit_var(new_lit)
 
-    mapper = LiteralMapper(src, rebuilt, leaf_map)
+    mapper = LiteralMapper(src, rebuilt, leaf_map, redirects=redirects)
     for _, src_var, src_next in src_latches:
         rebuilt.set_latch_next(leaf_map[src_var], mapper.copy_lit(src_next))
     rebuilt.add_bad(mapper.copy_lit(src_bad),

@@ -8,6 +8,14 @@ each latch whose next value disagrees with its current abstract value to X.
 The per-latch lattice 0/1 < X is finite and widening is monotone, so the
 iteration terminates after at most one widening per latch.
 
+The evaluation runs on the lane-parallel two-word ternary kernel
+(:func:`repro.aig.simulate.ternary_simulate_comb`): every node is a
+``(value, known)`` pair of machine words manipulated with bitwise
+operations, the same representation the fraiging pass uses for its
+signatures.  The fixpoint itself needs only one lane, but the word kernel
+replaces a per-node ``Optional[bool]`` interpretation loop with integer
+arithmetic — the whole preprocessing layer shares one simulation core.
+
 Latches that stay 0 or 1 at the fixpoint are replaced by the constant and
 dropped; the AIG rebuild then propagates the constants through the
 structural-hashing simplifications, which typically collapses whole cones
@@ -17,46 +25,20 @@ runs a second COI pass after the sweep for exactly that reason).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
-from ..aig.aig import FALSE, TRUE, Aig, lit_sign, lit_var
+from ..aig.aig import FALSE, TRUE
 from ..aig.model import Model
+from ..aig.simulate import ternary_lit_value, ternary_simulate_comb
 from .modelmap import ModelMap
 from .passes import Pass, PassResult
 from .rebuild import rebuild_model
 
 __all__ = ["SweepPass", "ternary_latch_fixpoint"]
 
-#: The ternary "unknown" value.  0/1 are plain bools.
+#: The ternary "unknown" value in the *result* dict of
+#: :func:`ternary_latch_fixpoint`.  0/1 are plain bools.
 X = None
-
-
-def _ternary_and(a: Optional[bool], b: Optional[bool]) -> Optional[bool]:
-    if a is False or b is False:
-        return False
-    if a is True and b is True:
-        return True
-    return X
-
-
-def _ternary_lit(values: Dict[int, Optional[bool]], lit: int) -> Optional[bool]:
-    value = values[lit_var(lit)]
-    if value is X:
-        return X
-    return (not value) if lit_sign(lit) else value
-
-
-def _ternary_eval(aig: Aig, state: Dict[int, Optional[bool]]) -> Dict[int, Optional[bool]]:
-    """Evaluate every node ternarily with all inputs X and latches at ``state``."""
-    values: Dict[int, Optional[bool]] = {0: False}
-    for var in aig.input_vars():
-        values[var] = X
-    for latch in aig.latches:
-        values[latch.var] = state[latch.var]
-    for gate in aig.iter_and_gates():
-        values[gate.var] = _ternary_and(_ternary_lit(values, gate.left),
-                                        _ternary_lit(values, gate.right))
-    return values
 
 
 def ternary_latch_fixpoint(model: Model) -> Dict[int, Optional[bool]]:
@@ -66,22 +48,25 @@ def ternary_latch_fixpoint(model: Model) -> Dict[int, Optional[bool]]:
     reachable state of the model, for every input sequence.
     """
     aig = model.aig
-    state: Dict[int, Optional[bool]] = {
-        latch.var: (X if latch.init is None else bool(latch.init))
+    # (value, known) single-lane words per latch; X is known=0.
+    state: Dict[int, Tuple[int, int]] = {
+        latch.var: ((0, 0) if latch.init is None
+                    else (1 if latch.init else 0, 1))
         for latch in aig.latches}
     while True:
-        values = _ternary_eval(aig, state)
+        values = ternary_simulate_comb(aig, state_values=state, width=1)
         changed = False
         for latch in aig.latches:
-            current = state[latch.var]
-            if current is X:
+            value, known = state[latch.var]
+            if not known:
                 continue
-            nxt = _ternary_lit(values, latch.next)
-            if nxt is X or nxt != current:
-                state[latch.var] = X
+            next_value, next_known = ternary_lit_value(values, latch.next)
+            if not next_known or next_value != value:
+                state[latch.var] = (0, 0)
                 changed = True
         if not changed:
-            return state
+            return {var: (bool(value) if known else X)
+                    for var, (value, known) in state.items()}
 
 
 class SweepPass(Pass):

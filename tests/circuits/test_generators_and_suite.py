@@ -198,5 +198,6 @@ def test_duplicated_pattern_copies_agree_and_fail_depth():
 def test_redundant_suite_instances_registered():
     names = {i.name for i in redundant_suite()}
     assert names == {"red_dead08", "red_dead08bug", "red_stuck04",
-                     "red_stuck04bug", "red_dup06", "red_dup06bug"}
+                     "red_stuck04bug", "red_dup06", "red_dup06bug",
+                     "red_dup10", "red_dup10bug"}
     assert all(i.category == "redundant" for i in redundant_suite())

@@ -118,7 +118,7 @@ def test_default_pipeline_semantics_preserved_across_suite():
 def test_pipeline_composes_stats_and_cnf_flag():
     result = build_pipeline().run(stuck_gate_counter(4, 4))
     assert [s.name for s in result.passes] == ["coi", "sweep", "coi",
-                                               "rewrite", "cnf"]
+                                               "rewrite", "fraig", "cnf"]
     assert result.cnf_simplify is not None
     assert result.latches_removed == 8          # 4 stuck + 4 churn
     assert result.inputs_removed == 8

@@ -1,0 +1,72 @@
+"""The word-kernel ternary fixpoint against the retired per-bit one.
+
+``ternary_latch_fixpoint`` used to interpret every node as an
+``Optional[bool]`` in a Python-level case analysis; it now runs on the
+lane-parallel ``(value, known)`` word kernel.  This file keeps the old
+per-bit evaluator alive *as a test reference* and asserts the rewrite
+computes the identical stuck-latch classification on every registry
+instance.
+"""
+
+import pytest
+
+from repro.circuits import full_suite
+from repro.preprocess import ternary_latch_fixpoint
+from repro.preprocess.sweep import X
+
+
+def _reference_fixpoint(model):
+    """The pre-kernel implementation: per-node Optional[bool] widening."""
+    from repro.aig.aig import lit_sign, lit_var
+
+    aig = model.aig
+
+    def evaluate(state):
+        values = {0: False}
+        for var in aig.input_vars():
+            values[var] = None
+        for latch in aig.latches:
+            values[latch.var] = state[latch.var]
+
+        def lit_val(lit):
+            value = values[lit_var(lit)]
+            if value is None:
+                return None
+            return (not value) if lit_sign(lit) else value
+
+        for gate in aig.iter_and_gates():
+            left, right = lit_val(gate.left), lit_val(gate.right)
+            if left is False or right is False:
+                values[gate.var] = False
+            elif left is None or right is None:
+                values[gate.var] = None
+            else:
+                values[gate.var] = True
+        return values, lit_val
+
+    state = {latch.var: (None if latch.init is None else bool(latch.init))
+             for latch in aig.latches}
+    while True:
+        values, lit_val = evaluate(state)
+        changed = False
+        for latch in aig.latches:
+            if state[latch.var] is None:
+                continue
+            if lit_val(latch.next) != state[latch.var]:
+                state[latch.var] = None
+                changed = True
+        if not changed:
+            return state
+
+
+@pytest.mark.parametrize("instance", full_suite(), ids=lambda inst: inst.name)
+def test_word_fixpoint_equals_per_bit_reference(instance):
+    model = instance.build()
+    kernel = ternary_latch_fixpoint(model)
+    reference = _reference_fixpoint(model)
+    assert set(kernel) == set(reference)
+    for var in kernel:
+        assert kernel[var] == reference[var], (instance.name, var)
+    # Same *stuck* sets, stated explicitly (this is what SweepPass acts on).
+    assert {v for v, value in kernel.items() if value is not X} \
+        == {v for v, value in reference.items() if value is not None}

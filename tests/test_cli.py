@@ -149,6 +149,31 @@ def test_list_instances_prints_registry_with_sizes(capsys):
     assert "redundant" in out
 
 
+def test_passes_flag_selects_the_pipeline(safe_aag, capsys):
+    assert main([safe_aag, "--engine", "itpseq", "--stats",
+                 "--passes", "coi,fraig,cnf"]) == 0
+    out = capsys.readouterr().out
+    assert "pass" in out.lower()
+    # The fraig counters surface in the stats block whenever the pass ran.
+    assert "fraig_merges:" in out and "fraig_classes:" in out
+    # An empty list is valid: preprocessing runs zero passes.
+    assert main([safe_aag, "--engine", "itpseq", "--passes", ""]) == 0
+
+
+def test_unknown_pass_name_exits_two(safe_aag, capsys):
+    # Unknown names leave the run unanswered — the documented "no answer"
+    # status (2), not the usage error (3).
+    assert main([safe_aag, "--passes", "coi,fraigg"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown preprocessing passes" in err
+    assert "fraig" in err                    # the known-pass list is printed
+
+
+def test_passes_flag_conflicts_with_no_preprocess(safe_aag, capsys):
+    assert main([safe_aag, "--passes", "coi", "--no-preprocess"]) == 3
+    assert "--passes conflicts" in capsys.readouterr().err
+
+
 def test_no_preprocess_flag_disables_reduction(safe_aag, capsys):
     assert main([safe_aag, "--engine", "pdr", "--stats"]) == 0
     preprocessed = capsys.readouterr().out
