@@ -22,6 +22,7 @@ repo-root conftest) selects the harness fan-out; regenerated artefacts are
 identical at any value.
 """
 
+import dataclasses
 import os
 
 import pytest
@@ -43,6 +44,27 @@ def jobs(request):
     # parallel_map both resolve 0 via resolve_jobs.  (Mapping 0 to None
     # here would silently select run_suite's config default — serial.)
     return int(request.config.getoption("--jobs"))
+
+
+@pytest.fixture(scope="session")
+def with_events(request):
+    """``with_events(config, name)`` — route a config's span trace.
+
+    Returns ``config`` with tracing directed to ``<--events-dir>/<name>``
+    (each suite benchmark gets its own subdirectory so the per-run
+    ``suite.jsonl`` merges never collide), or the config untouched when
+    ``--events-dir`` is unset — tracing off, zero overhead, byte-identical
+    artefacts either way.
+    """
+    base = request.config.getoption("--events-dir")
+
+    def _apply(config, name):
+        if base is None:
+            return config
+        return dataclasses.replace(config,
+                                   events_dir=os.path.join(base, name))
+
+    return _apply
 
 
 @pytest.fixture(scope="session")

@@ -27,12 +27,14 @@ _CONFIG = HarnessConfig(time_limit=None, max_bound=25,
                         max_propagations=PROP_BUDGET, run_bdds=False)
 
 
-def _run(instances, jobs):
-    return ExperimentRunner(_CONFIG).run_suite(instances, jobs=jobs)
+def _run(instances, jobs, config=_CONFIG):
+    return ExperimentRunner(config).run_suite(instances, jobs=jobs)
 
 
-def test_fig6_full_suite(benchmark, save_artifact, save_timing, jobs):
-    records = benchmark.pedantic(_run, args=(full_suite(), jobs),
+def test_fig6_full_suite(benchmark, save_artifact, save_timing, jobs,
+                         with_events):
+    config = with_events(_CONFIG, "fig6_full")
+    records = benchmark.pedantic(_run, args=(full_suite(), jobs, config),
                                  rounds=1, iterations=1)
     save_artifact("fig6_full.txt", render_fig6(records, deterministic=True))
     save_artifact("fig6_full.csv",
@@ -50,8 +52,10 @@ def test_fig6_full_suite(benchmark, save_artifact, save_timing, jobs):
         assert solved >= total // 2, f"{engine} solved too few instances"
 
 
-def test_fig6_quick_subset(benchmark, save_artifact, save_timing, jobs):
-    records = benchmark.pedantic(_run, args=(quick_suite(), jobs),
+def test_fig6_quick_subset(benchmark, save_artifact, save_timing, jobs,
+                           with_events):
+    config = with_events(_CONFIG, "fig6_quick")
+    records = benchmark.pedantic(_run, args=(quick_suite(), jobs, config),
                                  rounds=1, iterations=1)
     save_artifact("fig6_quick.txt", render_fig6(records, deterministic=True))
     save_timing("fig6_quick.txt", render_fig6(records))

@@ -30,8 +30,8 @@ _CONFIG = HarnessConfig(time_limit=None, max_bound=25,
                         bdd_node_limit=200_000, bdd_time_limit=None)
 
 
-def _run_block(instances, jobs):
-    runner = ExperimentRunner(_CONFIG)
+def _run_block(instances, jobs, config=_CONFIG):
+    runner = ExperimentRunner(config)
     return runner.run_suite(instances, jobs=jobs)
 
 
@@ -43,15 +43,21 @@ def _save_block(records, stem, save_artifact, save_timing):
     save_timing(f"{stem}.csv", render_table1(records, as_csv=True))
 
 
-def test_table1_academic_block(benchmark, save_artifact, save_timing, jobs):
-    records = benchmark.pedantic(_run_block, args=(academic_suite(), jobs),
+def test_table1_academic_block(benchmark, save_artifact, save_timing, jobs,
+                               with_events):
+    config = with_events(_CONFIG, "table1_academic")
+    records = benchmark.pedantic(_run_block,
+                                 args=(academic_suite(), jobs, config),
                                  rounds=1, iterations=1)
     _save_block(records, "table1_academic", save_artifact, save_timing)
     assert all(record.verdict_consistent() for record in records)
 
 
-def test_table1_industrial_block(benchmark, save_artifact, save_timing, jobs):
-    records = benchmark.pedantic(_run_block, args=(industrial_suite(), jobs),
+def test_table1_industrial_block(benchmark, save_artifact, save_timing, jobs,
+                                 with_events):
+    config = with_events(_CONFIG, "table1_industrial")
+    records = benchmark.pedantic(_run_block,
+                                 args=(industrial_suite(), jobs, config),
                                  rounds=1, iterations=1)
     _save_block(records, "table1_industrial", save_artifact, save_timing)
     assert all(record.verdict_consistent() for record in records)

@@ -5,6 +5,12 @@
 cells over that many worker processes.  Artefact content is identical at
 any value (that property is itself under test); only the wall clock
 changes, which is why CI passes ``--jobs 0`` (all cores) to the bench job.
+
+``--events-dir`` switches span tracing on for the suite-level benchmarks:
+each regeneration run writes its merged event stream under
+``<dir>/<benchmark-name>/suite.jsonl``.  Tracing must not perturb the
+committed artefacts — the CI bench job regenerates with this flag set and
+still gates on ``git diff --exit-code benchmarks/results/``.
 """
 
 
@@ -13,3 +19,7 @@ def pytest_addoption(parser):
         "--jobs", action="store", default="1", metavar="N",
         help="worker processes for benchmark artefact regeneration "
              "(0 = all cores; default 1 = the serial reference path)")
+    parser.addoption(
+        "--events-dir", action="store", default=None, metavar="DIR",
+        help="collect span-trace event streams from the suite benchmarks "
+             "under DIR (default: tracing off)")

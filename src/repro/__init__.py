@@ -34,7 +34,16 @@ The package provides, in pure Python:
   (:mod:`repro.bdd`);
 * synthetic benchmark circuits and the experiment harness regenerating the
   paper's Table I, Fig. 6 and Fig. 7 (:mod:`repro.circuits`,
-  :mod:`repro.harness`).
+  :mod:`repro.harness`);
+* a structured-tracing subsystem (:mod:`repro.obs`): nested span events
+  with deterministic SAT counter deltas, JSONL sinks, per-module loggers
+  under the ``repro`` hierarchy, and the ``python -m repro.obs.report``
+  trace analyser.
+
+Following library convention, the ``repro`` logger hierarchy carries a
+``NullHandler``: the package never configures logging on import, and the
+CLI's ``-v``/``-vv`` flags (or :func:`repro.obs.logcfg.configure_logging`)
+opt into stderr output.
 
 Quickstart
 ----------
@@ -45,7 +54,11 @@ Quickstart
 'pass'
 """
 
-from .aig import Aig, AigBuilder, Model, read_aag, write_aag
+import logging as _logging
+
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from .aig import Aig, AigBuilder, Model, read_aag, write_aag  # noqa: E402
 from .bmc import BmcCheckKind, BmcEngine, IncrementalUnroller, Trace
 from .preprocess import ModelMap, Pipeline, build_pipeline
 from .core import (

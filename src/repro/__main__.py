@@ -8,8 +8,13 @@ Examples::
     python -m repro design.aag --engine portfolio --race --jobs 4
     python -m repro design.aag --no-preprocess --stats
     python -m repro design.aag --passes coi,fraig,cnf --stats
+    python -m repro design.aag --engine itpseq --events trace.jsonl -v
     python -m repro --list-engines
     python -m repro --list-instances
+
+``--trace`` prints the counterexample *input trace* on FAIL; the
+similarly named ``--events`` records the run's structured *span-event
+trace* (see :mod:`repro.obs`) for ``python -m repro.obs.report``.
 
 The file may be ASCII (``.aag``) or binary (``.aig``) AIGER — the variant
 is sniffed from the magic bytes, not the extension.  Exit status: 0 when
@@ -106,9 +111,21 @@ def _build_parser() -> argparse.ArgumentParser:
                              "throwaway solver instead of the per-run "
                              "persistent fixpoint checker")
     parser.add_argument("--stats", action="store_true",
-                        help="print the engine's statistics counters")
+                        help="print the engine's statistics counters, "
+                             "grouped by subsystem (groups that are "
+                             "structurally zero for the selected engine "
+                             "are suppressed)")
     parser.add_argument("--trace", action="store_true",
-                        help="print the counterexample input trace on FAIL")
+                        help="print the counterexample input trace on FAIL "
+                             "(not to be confused with --events, which "
+                             "records span-trace events)")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="write a structured span-event trace of the "
+                             "run to FILE as JSON lines; inspect it with "
+                             "'python -m repro.obs.report FILE'")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-v = INFO, "
+                             "-vv = DEBUG)")
     parser.add_argument("--list-engines", action="store_true",
                         help="list the registered engines and exit")
     parser.add_argument("--list-instances", action="store_true",
@@ -122,8 +139,20 @@ def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
     if result.message:
         print(f"  note: {result.message}")
     if args.stats:
-        for key, value in result.stats.as_dict().items():
-            print(f"  {key}: {value}")
+        engine_cls = ENGINES.get(result.engine)
+        groups = getattr(engine_cls, "stat_groups", None)
+        if groups is None:  # unknown engine name: fall back to the flat dump
+            for key, value in result.stats.as_dict().items():
+                print(f"  {key}: {value}")
+        else:
+            if not args.preprocess:
+                # With preprocessing off every pre_*/fraig_* counter is
+                # structurally zero — drop the whole group.
+                groups = tuple(g for g in groups if g != "preprocess")
+            for group, counters in result.stats.grouped(groups).items():
+                print(f"  [{group}]")
+                for key, value in counters.items():
+                    print(f"  {key}: {value}")
     if args.trace and result.trace is not None:
         trace = result.trace
         print(f"  initial state: { {v: int(b) for v, b in sorted(trace.initial_state.items())} }")
@@ -134,6 +163,10 @@ def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    from .obs.logcfg import configure_logging
+
+    configure_logging(args.verbose)
 
     if args.list_engines:
         for name, engine_cls in ENGINES.items():
@@ -211,11 +244,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                             proof_reduce=args.proof_reduce,
                             itp_compact=args.itp_compact,
                             fixpoint_incremental=args.fixpoint_incremental)
-    if args.engine == "portfolio":
-        result = Portfolio(options=options).run_first_solved(
-            model, parallel=args.race, jobs=args.jobs)
-    else:
-        result = run_engine(args.engine, model, options)
+    tracer = None
+    if args.events is not None and not args.race:
+        from .obs.sinks import JsonlSink
+        from .obs.tracer import Tracer
+
+        tracer = Tracer(JsonlSink(args.events))
+    try:
+        if args.engine == "portfolio":
+            # The race builds per-worker tracers from the base path itself
+            # (tracers hold live sinks and never cross process boundaries).
+            result = Portfolio(options=options).run_first_solved(
+                model, parallel=args.race, jobs=args.jobs, tracer=tracer,
+                events_path=args.events if args.race else None)
+        else:
+            result = run_engine(args.engine, model, options, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     _print_result(result, args)
     return _EXIT_BY_VERDICT[result.verdict.value]
 

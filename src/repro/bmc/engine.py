@@ -85,7 +85,15 @@ class BmcEngine:
     def __init__(self, model: Model, check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
                  validate_traces: bool = True, incremental: bool = True,
                  preprocess: bool = True,
-                 preprocess_passes: Optional[tuple] = None) -> None:
+                 preprocess_passes: Optional[tuple] = None,
+                 tracer=None) -> None:
+        from ..obs.tracer import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Live counter snapshot sampled by the tracer on span boundaries.
+        self._counters = {"sat_calls": 0, "clauses_added": 0,
+                          "conflicts": 0, "propagations": 0}
+        self.tracer.bind_counters(lambda: self._counters)
         self.source_model = model
         self._preprocess = None
         self._preprocess_seconds = 0.0
@@ -95,9 +103,11 @@ class BmcEngine:
             # Model passes only: BMC has no containment checks, so arming
             # the encoding-time CNF pass would be dead work.
             started = time.monotonic()
-            self._preprocess = build_pipeline(
-                self.DEFAULT_PASSES if preprocess_passes is None
-                else preprocess_passes).run(model)
+            with self.tracer.span("preprocess", engine="bmc",
+                                  model=model.name):
+                self._preprocess = build_pipeline(
+                    self.DEFAULT_PASSES if preprocess_passes is None
+                    else preprocess_passes).run(model, tracer=self.tracer)
             self._preprocess_seconds = time.monotonic() - started
             self.model = self._preprocess.model
         else:
@@ -128,9 +138,18 @@ class BmcEngine:
     def run(self, max_depth: int, time_limit: Optional[float] = None,
             conflict_limit: Optional[int] = None) -> BmcResult:
         """Search for a counterexample of length at most ``max_depth``."""
-        if self.incremental:
-            return self._run_incremental(max_depth, time_limit, conflict_limit)
-        return self._run_monolithic(max_depth, time_limit, conflict_limit)
+        with self.tracer.span("run", engine="bmc", model=self.model.name):
+            if self.incremental:
+                result = self._run_incremental(max_depth, time_limit,
+                                               conflict_limit)
+            else:
+                result = self._run_monolithic(max_depth, time_limit,
+                                              conflict_limit)
+        if self.tracer.enabled:
+            self.tracer.point("verdict", engine="bmc",
+                              model=self.model.name, status=result.status,
+                              depth=result.depth)
+        return result
 
     # ------------------------------------------------------------------ #
     # Incremental mode: one persistent solver for the whole deepening run
@@ -155,27 +174,32 @@ class BmcEngine:
                         result.status = "unknown"
                         result.checked_depth = depth - 1
                         break
-                # Frame encoding is part of the depth's cost, matching the
-                # fresh-solver mode where build_check runs inside the timer.
-                unroller.extend()
-            budget = (Budget(max_conflicts=conflict_limit, max_time=remaining)
-                      if depth > 0 else None)
-            answer = unroller.solve(budget=budget)
-            result.sat_calls += 1
-            self._account(result, depth, unroller.last_call_stats)
-            result.per_depth_times[depth] = time.monotonic() - depth_start
-            if answer is SatResult.UNKNOWN:
-                result.status = "unknown"
-                result.checked_depth = depth - 1
-                break
-            if answer is SatResult.SAT:
-                trace = self._finish_trace(unroller.extract_trace())
-                result.status = "fail"
-                result.depth = depth
-                result.trace = trace
+            with self.tracer.span("bound", bound=depth):
+                if depth > 0:
+                    # Frame encoding is part of the depth's cost, matching
+                    # the fresh-solver mode where build_check runs inside
+                    # the timer.
+                    unroller.extend()
+                budget = (Budget(max_conflicts=conflict_limit,
+                                 max_time=remaining)
+                          if depth > 0 else None)
+                with self.tracer.span("cex_search"):
+                    answer = unroller.solve(budget=budget)
+                    result.sat_calls += 1
+                    self._account(result, depth, unroller.last_call_stats)
+                result.per_depth_times[depth] = time.monotonic() - depth_start
+                if answer is SatResult.UNKNOWN:
+                    result.status = "unknown"
+                    result.checked_depth = depth - 1
+                    break
+                if answer is SatResult.SAT:
+                    trace = self._finish_trace(unroller.extract_trace())
+                    result.status = "fail"
+                    result.depth = depth
+                    result.trace = trace
+                    result.checked_depth = depth
+                    break
                 result.checked_depth = depth
-                break
-            result.checked_depth = depth
         result.time_seconds = time.monotonic() - start
         return result
 
@@ -206,36 +230,47 @@ class BmcEngine:
                     result.checked_depth = depth - 1
                     break
             depth_start = time.monotonic()
-            unroller = build_check(self.check_kind, self.model, depth,
-                                   proof_logging=False)
-            budget = Budget(max_conflicts=conflict_limit, max_time=remaining)
-            answer = unroller.solver.solve(budget=budget)
-            result.sat_calls += 1
-            self._account(result, depth, unroller.solver.stats)
-            result.per_depth_times[depth] = time.monotonic() - depth_start
-            if answer is SatResult.UNKNOWN:
-                result.status = "unknown"
-                result.checked_depth = depth - 1
-                break
-            if answer is SatResult.SAT:
-                trace = self._finish_trace(unroller.extract_trace(depth))
-                result.status = "fail"
-                result.depth = depth
-                result.trace = trace
+            with self.tracer.span("bound", bound=depth):
+                with self.tracer.span("cex_search"):
+                    unroller = build_check(self.check_kind, self.model, depth,
+                                           proof_logging=False)
+                    budget = Budget(max_conflicts=conflict_limit,
+                                    max_time=remaining)
+                    answer = unroller.solver.solve(budget=budget)
+                    result.sat_calls += 1
+                    self._account(result, depth, unroller.solver.stats)
+                result.per_depth_times[depth] = time.monotonic() - depth_start
+                if answer is SatResult.UNKNOWN:
+                    result.status = "unknown"
+                    result.checked_depth = depth - 1
+                    break
+                if answer is SatResult.SAT:
+                    trace = self._finish_trace(unroller.extract_trace(depth))
+                    result.status = "fail"
+                    result.depth = depth
+                    result.trace = trace
+                    result.checked_depth = depth
+                    break
                 result.checked_depth = depth
-                break
-            result.checked_depth = depth
         result.time_seconds = time.monotonic() - start
         return result
 
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _account(result: BmcResult, depth: int, stats: SolverStats) -> None:
+    def _account(self, result: BmcResult, depth: int,
+                 stats: SolverStats) -> None:
         result.clause_additions += stats.clauses_added
         result.conflicts += stats.conflicts
         result.per_depth_clauses[depth] = stats.clauses_added
+        self._counters["sat_calls"] += 1
+        self._counters["clauses_added"] += stats.clauses_added
+        self._counters["conflicts"] += stats.conflicts
+        self._counters["propagations"] += stats.propagations
+        if self.tracer.enabled:
+            self.tracer.point("sat_call", conflicts=stats.conflicts,
+                              propagations=stats.propagations,
+                              clauses_added=stats.clauses_added)
 
     def _finish_trace(self, trace: Trace) -> Trace:
         """Lift a (possibly reduced-model) trace back and validate it."""

@@ -44,6 +44,7 @@ consumes.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import Callable, Dict, Iterable, Optional, Tuple
 
@@ -55,6 +56,7 @@ from ..bmc.incremental import IncrementalUnroller
 from ..cnf.cnf import Cnf
 from ..cnf.tseitin import TseitinEncoder
 from ..itp.compact import compact_cone
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..preprocess.cnfsimp import CnfSimplifyConfig, CnfSimplifyStats, simplify_cnf
 from ..preprocess.passes import PreprocessResult, build_pipeline
 from ..sat.proof import ResolutionProof, reduce_proof
@@ -65,6 +67,8 @@ from .options import EngineOptions
 from .result import EngineStats, Verdict, VerificationResult
 
 __all__ = ["OutOfBudget", "initial_states_predicate", "implies", "UmcEngine"]
+
+_log = logging.getLogger("repro.core.base")
 
 
 class OutOfBudget(RuntimeError):
@@ -177,9 +181,22 @@ class UmcEngine:
 
     name = "umc"
 
-    def __init__(self, model: Model, options: Optional[EngineOptions] = None) -> None:
+    #: Statistic groups this engine can structurally populate — the CLI's
+    #: grouped ``--stats`` rendering shows exactly these (see
+    #: :meth:`repro.core.result.EngineStats.grouped`).
+    stat_groups = ("solver", "preprocess", "lifecycle")
+
+    def __init__(self, model: Model, options: Optional[EngineOptions] = None,
+                 tracer: Optional[NullTracer] = None) -> None:
         self._source_model = model
         self.options = options or EngineOptions()
+        #: The run's span tracer (default: the no-op NullTracer).  Counter
+        #: deltas are sampled from the *live* ``self.stats`` — the sampler
+        #: reads the attribute on every call, so ``run()`` replacing the
+        #: stats object is transparent to open spans.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = EngineStats()
+        self.tracer.bind_counters(self._counter_sample)
         #: Pipeline outcome when preprocessing ran (None otherwise); carries
         #: the ModelMap that lifts reduced-model traces back (see _fail).
         self.preprocess: Optional[PreprocessResult] = None
@@ -188,8 +205,10 @@ class UmcEngine:
         self._preprocess_seconds = 0.0
         construction_started = time.monotonic()
         if self.options.preprocess:
-            pipeline = build_pipeline(self.options.preprocess_passes)
-            self.preprocess = pipeline.run(model)
+            with self.tracer.span("preprocess", engine=self.name,
+                                  model=model.name):
+                pipeline = build_pipeline(self.options.preprocess_passes)
+                self.preprocess = pipeline.run(model, tracer=self.tracer)
             # The pipeline hands out a private model (engines add
             # interpolant cones to the AIG, so it must never be shared).
             self.aig = self.preprocess.model.aig
@@ -199,7 +218,6 @@ class UmcEngine:
             self.aig = model.aig.copy()
             self.model = Model(self.aig, model.property_index, name=model.name)
         self._preprocess_seconds = time.monotonic() - construction_started
-        self.stats = EngineStats()
         self._start_time = 0.0
         self._current_bound: Optional[int] = None
         #: Persistent (proof-free) incremental BMC search over self.model.
@@ -207,6 +225,31 @@ class UmcEngine:
         #: Persistent incremental containment checker over self.aig (the
         #: R-accumulation fixpoint tests; see repro.core.fixpoint).
         self._fixpoint_checker: Optional[FixpointChecker] = None
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def _counter_sample(self) -> Dict[str, int]:
+        """The deterministic counters span deltas are computed from."""
+        stats = self.stats
+        return {"sat_calls": stats.sat_calls,
+                "clauses_added": stats.clauses_added,
+                "conflicts": stats.conflicts,
+                "propagations": stats.propagations}
+
+    def _bound_span(self, bound: int):
+        """The per-bound structural span (mirrored as a DEBUG log line)."""
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug("%s/%s: bound %d (clauses=%d propagations=%d)",
+                       self.name, self.model.name, bound,
+                       self.stats.clauses_added, self.stats.propagations)
+        return self.tracer.span("bound", bound=bound)
+
+    def _sat_call_point(self, call: SolverStats) -> None:
+        """Per-SAT-call profile event; caller phase = the enclosing span."""
+        self.tracer.point("sat_call", conflicts=call.conflicts,
+                          propagations=call.propagations,
+                          clauses_added=call.clauses_added)
 
     # ------------------------------------------------------------------ #
     # Resource handling
@@ -241,6 +284,8 @@ class UmcEngine:
         self.stats.propagations += call.propagations
         self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
                                             call.conflicts)
+        if self.tracer.enabled:
+            self._sat_call_point(call)
         if result is SatResult.UNKNOWN:
             raise OutOfBudget(self._current_bound)
         # The deterministic budgets: unlike the wall clock, cumulative
@@ -278,38 +323,41 @@ class UmcEngine:
         """
         self._check_budget()
         self.stats.containment_checks += 1
-        if self.options.fixpoint_incremental and (aig is None or aig is self.aig):
-            return self._implies_incremental(antecedent, consequent)
-        started = time.monotonic()
+        with self.tracer.span("containment"):
+            if self.options.fixpoint_incremental and (aig is None or aig is self.aig):
+                return self._implies_incremental(antecedent, consequent)
+            started = time.monotonic()
 
-        def account(solver_stats: SolverStats) -> None:
-            self.stats.clauses_added += solver_stats.clauses_added
-            self.stats.conflicts += solver_stats.conflicts
-            self.stats.propagations += solver_stats.propagations
-            self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
-                                                solver_stats.conflicts)
+            def account(solver_stats: SolverStats) -> None:
+                self.stats.clauses_added += solver_stats.clauses_added
+                self.stats.conflicts += solver_stats.conflicts
+                self.stats.propagations += solver_stats.propagations
+                self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
+                                                    solver_stats.conflicts)
+                if self.tracer.enabled:
+                    self._sat_call_point(solver_stats)
 
-        def account_reduction(simp_stats: CnfSimplifyStats) -> None:
-            self.stats.pre_cnf_clauses_eliminated += simp_stats.clauses_eliminated
+            def account_reduction(simp_stats: CnfSimplifyStats) -> None:
+                self.stats.pre_cnf_clauses_eliminated += simp_stats.clauses_eliminated
 
-        cnf_config = self.preprocess.cnf_simplify if self.preprocess else None
-        try:
-            result = implies(aig or self.aig, antecedent, consequent,
-                             budget=self._sat_budget(), on_stats=account,
-                             cnf_simplify=cnf_config,
-                             on_reduction=account_reduction)
-        except OutOfBudget:
-            raise OutOfBudget(self._current_bound)
-        finally:
-            self.stats.sat_time += time.monotonic() - started
-            self.stats.sat_calls += 1
-        if (self.options.max_clauses is not None
-                and self.stats.clauses_added > self.options.max_clauses):
-            raise OutOfBudget(self._current_bound)
-        if (self.options.max_propagations is not None
-                and self.stats.propagations > self.options.max_propagations):
-            raise OutOfBudget(self._current_bound)
-        return result
+            cnf_config = self.preprocess.cnf_simplify if self.preprocess else None
+            try:
+                result = implies(aig or self.aig, antecedent, consequent,
+                                 budget=self._sat_budget(), on_stats=account,
+                                 cnf_simplify=cnf_config,
+                                 on_reduction=account_reduction)
+            except OutOfBudget:
+                raise OutOfBudget(self._current_bound)
+            finally:
+                self.stats.sat_time += time.monotonic() - started
+                self.stats.sat_calls += 1
+            if (self.options.max_clauses is not None
+                    and self.stats.clauses_added > self.options.max_clauses):
+                raise OutOfBudget(self._current_bound)
+            if (self.options.max_propagations is not None
+                    and self.stats.propagations > self.options.max_propagations):
+                raise OutOfBudget(self._current_bound)
+            return result
 
     def _implies_incremental(self, antecedent: int, consequent: int) -> bool:
         """One containment check on the run's persistent fixpoint solver."""
@@ -332,6 +380,8 @@ class UmcEngine:
         self.stats.propagations += call.propagations
         self.stats.max_call_conflicts = max(self.stats.max_call_conflicts,
                                             call.conflicts)
+        if self.tracer.enabled:
+            self._sat_call_point(call)
         self.stats.fixpoint_encodings_reused += (checker.encodings_reused
                                                  - reused_before)
         if result is SatResult.UNKNOWN:
@@ -358,8 +408,10 @@ class UmcEngine:
         """
         if self._fixpoint_checker is None:
             return
-        self.stats.fixpoint_groups_shed += (
-            self._fixpoint_checker.shed_superseded(live_roots))
+        shed = self._fixpoint_checker.shed_superseded(live_roots)
+        self.stats.fixpoint_groups_shed += shed
+        if shed and self.tracer.enabled:
+            self.tracer.point("group_shed", groups=shed)
 
     def _note_interpolant(self, aig: Aig, itp_lit: int) -> None:
         self.stats.itp_extractions += 1
@@ -380,8 +432,12 @@ class UmcEngine:
         proof = solver.proof()
         if not self.options.proof_reduce:
             return proof
-        reduced, reduction = reduce_proof(proof)
+        with self.tracer.span("proof_trim"):
+            reduced, reduction = reduce_proof(proof)
         self.stats.proof_nodes_trimmed += reduction.nodes_trimmed
+        if self.tracer.enabled:
+            self.tracer.point("proof_trimmed",
+                              nodes=reduction.nodes_trimmed)
         return reduced
 
     def _register_interpolant(self, aig: Aig, itp_lit: int) -> int:
@@ -394,7 +450,8 @@ class UmcEngine:
         since R's cone is re-encoded by every later containment check.
         """
         if self.options.itp_compact and not lit_is_const(itp_lit):
-            compaction = compact_cone(aig, itp_lit)
+            with self.tracer.span("compact"):
+                compaction = compact_cone(aig, itp_lit)
             self.stats.itp_ands_compacted += compaction.saved
             itp_lit = compaction.lit
         self._note_interpolant(aig, itp_lit)
@@ -426,9 +483,10 @@ class UmcEngine:
         if not self.options.incremental_cex_search:
             return None
         searcher = self._cex_search_unroller()
-        searcher.extend_to(bound)
-        if self._solve(searcher.solver, searcher.assumptions()) is SatResult.SAT:
-            return searcher.extract_trace()
+        with self.tracer.span("cex_search"):
+            searcher.extend_to(bound)
+            if self._solve(searcher.solver, searcher.assumptions()) is SatResult.SAT:
+                return searcher.extract_trace()
         return None
 
     # ------------------------------------------------------------------ #
@@ -447,14 +505,15 @@ class UmcEngine:
 
         from ..bmc.unroll import Unroller  # local import avoids a cycle
 
-        solver = CdclSolver()
-        unroller = Unroller(self.model, solver)
-        unroller.assert_initial_state(partition=1)
-        unroller.assert_bad(0, partition=1)
-        if self.model.constraints:
-            unroller.assert_constraints_at(0, partition=1)
-        if self._solve(solver) is SatResult.SAT:
-            return unroller.extract_trace(0)
+        with self.tracer.span("cex_search"):
+            solver = CdclSolver()
+            unroller = Unroller(self.model, solver)
+            unroller.assert_initial_state(partition=1)
+            unroller.assert_bad(0, partition=1)
+            if self.model.constraints:
+                unroller.assert_constraints_at(0, partition=1)
+            if self._solve(solver) is SatResult.SAT:
+                return unroller.extract_trace(0)
         return None
 
     # ------------------------------------------------------------------ #
@@ -479,8 +538,11 @@ class UmcEngine:
             self.stats.fraig_sat_confirms = self.preprocess.fraig_sat_confirms
         self._cex_searcher = None
         self._fixpoint_checker = None
+        _log.info("%s: run starting on %s", self.name, self.model.name)
         try:
-            result = self._run()
+            with self.tracer.span("run", engine=self.name,
+                                  model=self.model.name):
+                result = self._run()
         except OutOfBudget as exc:
             result = VerificationResult(
                 verdict=Verdict.OVERFLOW, engine=self.name,
@@ -488,6 +550,14 @@ class UmcEngine:
                 j_fp=None, message="resource budget exhausted")
         result.time_seconds = self._elapsed()
         result.stats = self.stats
+        if self.tracer.enabled:
+            self.tracer.point("verdict", engine=self.name,
+                              model=self.model.name,
+                              verdict=result.verdict.value,
+                              k_fp=result.k_fp, j_fp=result.j_fp)
+        _log.info("%s: %s on %s (k_fp=%s, j_fp=%s, clauses=%d)",
+                  self.name, result.verdict.value, self.model.name,
+                  result.k_fp, result.j_fp, self.stats.clauses_added)
         return result
 
     def _run(self) -> VerificationResult:  # pragma: no cover - abstract

@@ -43,6 +43,8 @@ class ItpSeqCbaEngine(ItpSeqEngine):
 
     name = "itpseqcba"
 
+    stat_groups = ("solver", "preprocess", "lifecycle", "cba")
+
     def _run(self) -> VerificationResult:
         # Persistent incremental searchers: one on the current abstract model
         # (rebuilt whenever a refinement changes the model) and one exact-mode
@@ -69,18 +71,22 @@ class ItpSeqCbaEngine(ItpSeqEngine):
             self._current_bound = k
             self._check_budget()
 
-            refined = self._refinement_loop(abstraction, k)
-            if isinstance(refined, VerificationResult):
-                return refined
-            abstraction, proof, unroller = refined
-            self.stats.abstract_latches = abstraction.num_visible
+            with self._bound_span(k):
+                refined = self._refinement_loop(abstraction, k)
+                if isinstance(refined, VerificationResult):
+                    return refined
+                abstraction, proof, unroller = refined
+                self.stats.abstract_latches = abstraction.num_visible
 
-            abstract_model = abstraction.abstract_model
-            elements_abs = compute_serial_sequence(self, abstract_model, k,
-                                                   proof, unroller)
-            elements = self._translate_elements(abstraction, elements_abs)
+                abstract_model = abstraction.abstract_model
+                with self.tracer.span("itp_extract"):
+                    elements_abs = compute_serial_sequence(self, abstract_model,
+                                                           k, proof, unroller)
+                    elements = self._translate_elements(abstraction,
+                                                        elements_abs)
 
-            outcome = self._update_columns(columns, elements, k, init_predicate)
+                outcome = self._update_columns(columns, elements, k,
+                                               init_predicate)
             if outcome is not None:
                 return outcome
         return self._unknown(self.options.max_bound,
@@ -128,15 +134,18 @@ class ItpSeqCbaEngine(ItpSeqEngine):
             abstract_model = abstraction.abstract_model
             abstract_trace = None
             if incremental:
-                searcher = self._abstract_search(abstraction)
-                searcher.extend_to(k)
-                if self._solve(searcher.solver, searcher.assumptions()) \
-                        is SatResult.SAT:
-                    abstract_trace = searcher.extract_trace()
+                with self.tracer.span("cex_search"):
+                    searcher = self._abstract_search(abstraction)
+                    searcher.extend_to(k)
+                    if self._solve(searcher.solver, searcher.assumptions()) \
+                            is SatResult.SAT:
+                        abstract_trace = searcher.extract_trace()
             if abstract_trace is None:
-                unroller = build_check(self.options.bmc_check, abstract_model, k,
-                                       proof_logging=True)
-                result = self._solve(unroller.solver)
+                with self.tracer.span("refutation"):
+                    unroller = build_check(self.options.bmc_check,
+                                           abstract_model, k,
+                                           proof_logging=True)
+                    result = self._solve(unroller.solver)
                 if result is SatResult.UNSAT:
                     return abstraction, self._reduced_proof(unroller.solver), unroller
                 if incremental:  # pragma: no cover - defensive
@@ -144,10 +153,11 @@ class ItpSeqCbaEngine(ItpSeqEngine):
                         "incremental and monolithic abstract checks disagree")
                 abstract_trace = unroller.extract_trace(k)
             self.stats.sat_calls += 1
-            extension = extend_counterexample(
-                self.model, abstraction, abstract_trace, k,
-                budget=self._sat_budget(),
-                searcher=self._extend_search() if incremental else None)
+            with self.tracer.span("extend"):
+                extension = extend_counterexample(
+                    self.model, abstraction, abstract_trace, k,
+                    budget=self._sat_budget(),
+                    searcher=self._extend_search() if incremental else None)
             if extension.is_real:
                 return self._fail(k, extension.concrete_trace)
             if abstraction.is_total():
@@ -158,6 +168,9 @@ class ItpSeqCbaEngine(ItpSeqEngine):
                                         self.options.cba_refine_batch)
             abstraction = abstraction.refine(latches)
             self.stats.refinements += 1
+            if self.tracer.enabled:
+                self.tracer.point("refine", latches=len(latches),
+                                  visible=abstraction.num_visible)
 
     # ------------------------------------------------------------------ #
     # Abstract-to-concrete translation of sequence elements

@@ -44,7 +44,8 @@ class ItpEngine(UmcEngine):
         for k in range(1, self.options.max_bound + 1):
             self._current_bound = k
             self._check_budget()
-            outcome = self._traverse_at_bound(k, init_predicate)
+            with self._bound_span(k):
+                outcome = self._traverse_at_bound(k, init_predicate)
             if outcome is not None:
                 return outcome
         return self._unknown(self.options.max_bound,
@@ -71,8 +72,10 @@ class ItpEngine(UmcEngine):
         # only to record the labelled refutation interpolation needs (see
         # repro.core.base); with incremental search disabled it also answers
         # the SAT-or-UNSAT question.
-        unroller = self._build_check(k, init_formula=None)
-        if self._solve(unroller.solver) is SatResult.SAT:
+        with self.tracer.span("refutation"):
+            unroller = self._build_check(k, init_formula=None)
+            sat = self._solve(unroller.solver) is SatResult.SAT
+        if sat:
             depth = self._failure_depth(unroller, k)
             return self._fail(depth, unroller.extract_trace(depth))
 
@@ -83,19 +86,22 @@ class ItpEngine(UmcEngine):
         while True:
             j += 1
             proof = self._reduced_proof(unroller.solver)
-            cut_map = unroller.cut_var_map(1)
-            builder = InterpolantBuilder(self.aig, cut_map,
-                                         system=self.options.itp_system)
-            itp = builder.extract(proof, a_partitions=[1])
-            itp = self._register_interpolant(self.aig, itp)
+            with self.tracer.span("itp_extract"):
+                cut_map = unroller.cut_var_map(1)
+                builder = InterpolantBuilder(self.aig, cut_map,
+                                             system=self.options.itp_system)
+                itp = builder.extract(proof, a_partitions=[1])
+                itp = self._register_interpolant(self.aig, itp)
 
             if self._implies(itp, reached):
                 return self._pass(k, j)
             reached = self.aig.op_or(reached, itp)
             current_init = itp
 
-            unroller = self._build_check(k, init_formula=current_init)
-            if self._solve(unroller.solver) is SatResult.SAT:
+            with self.tracer.span("refutation"):
+                unroller = self._build_check(k, init_formula=current_init)
+                sat = self._solve(unroller.solver) is SatResult.SAT
+            if sat:
                 # Spurious (the initial set is an over-approximation): retry
                 # with a longer unrolling.
                 return None

@@ -47,28 +47,35 @@ class ItpSeqEngine(UmcEngine):
             self._current_bound = k
             self._check_budget()
 
-            # Counterexample search on the persistent incremental solver;
-            # after an UNSAT answer the fresh proof-logged solve below is
-            # guaranteed UNSAT and exists to record the refutation.
-            trace = self._search_counterexample(k)
-            if trace is not None:
-                return self._fail(k, trace)
+            with self._bound_span(k):
+                # Counterexample search on the persistent incremental solver;
+                # after an UNSAT answer the fresh proof-logged solve below is
+                # guaranteed UNSAT and exists to record the refutation.
+                trace = self._search_counterexample(k)
+                if trace is not None:
+                    return self._fail(k, trace)
 
-            unroller = build_check(self.options.bmc_check, self.model, k,
-                                   proof_logging=True)
-            if self._solve(unroller.solver) is SatResult.SAT:
-                return self._fail(k, unroller.extract_trace(k))
+                with self.tracer.span("refutation"):
+                    unroller = build_check(self.options.bmc_check, self.model,
+                                           k, proof_logging=True)
+                    sat = self._solve(unroller.solver) is SatResult.SAT
+                if sat:
+                    return self._fail(k, unroller.extract_trace(k))
 
-            proof = self._reduced_proof(unroller.solver)
-            cut_maps = {j: unroller.cut_var_map(j) for j in range(1, k + 1)}
-            sequence = extract_sequence(proof, k + 1, cut_maps, self.aig,
-                                        system=self.options.itp_system)
-            elements = list(sequence.elements)
-            for j in range(1, k + 1):
-                elements[j] = self._register_interpolant(self.aig, elements[j])
+                proof = self._reduced_proof(unroller.solver)
+                with self.tracer.span("itp_extract"):
+                    cut_maps = {j: unroller.cut_var_map(j)
+                                for j in range(1, k + 1)}
+                    sequence = extract_sequence(proof, k + 1, cut_maps,
+                                                self.aig,
+                                                system=self.options.itp_system)
+                    elements = list(sequence.elements)
+                    for j in range(1, k + 1):
+                        elements[j] = self._register_interpolant(self.aig,
+                                                                 elements[j])
 
-            outcome = self._update_columns(columns, elements, k,
-                                           init_predicate)
+                outcome = self._update_columns(columns, elements, k,
+                                               init_predicate)
             if outcome is not None:
                 return outcome
         return self._unknown(self.options.max_bound,

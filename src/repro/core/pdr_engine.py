@@ -52,18 +52,22 @@ class PdrEngine(UmcEngine):
 
     name = "pdr"
 
-    def __init__(self, model, options=None) -> None:
-        super().__init__(model, options)
+    stat_groups = ("solver", "preprocess", "pdr")
+
+    def __init__(self, model, options=None, tracer=None) -> None:
+        super().__init__(model, options, tracer=tracer)
         #: The frame sequence of the most recent run (inspection/testing).
         self.frames: Optional[FrameSequence] = None
 
     def _run(self) -> VerificationResult:
-        frames = FrameSequence(self.model, solve=self._solve)
+        frames = FrameSequence(self.model, solve=self._solve,
+                               tracer=self.tracer)
         self.frames = frames
         self._current_bound = 0
 
         # Depth-0 check: an initial state that violates p outright.
-        witness = frames.bad_state(0)
+        with self.tracer.span("cex_search"):
+            witness = frames.bad_state(0)
         if witness is not None:
             state, inputs = witness
             return self._fail(0, Trace(initial_state=state, inputs=[inputs],
@@ -72,14 +76,18 @@ class PdrEngine(UmcEngine):
         k = frames.add_level()
         while k <= self.options.max_bound:
             self._current_bound = k
-            trace = self._strengthen(frames, k)
-            if trace is not None:
-                return self._fail(trace.depth, trace)
-            if k % self.options.pdr_push_period == 0 or k == self.options.max_bound:
-                fixpoint = frames.propagate()
-                self.stats.clauses_pushed = frames.clauses_pushed
-                if fixpoint is not None:
-                    return self._pass(k, fixpoint)
+            with self._bound_span(k):
+                with self.tracer.span("strengthen"):
+                    trace = self._strengthen(frames, k)
+                if trace is not None:
+                    return self._fail(trace.depth, trace)
+                if (k % self.options.pdr_push_period == 0
+                        or k == self.options.max_bound):
+                    with self.tracer.span("propagate"):
+                        fixpoint = frames.propagate()
+                    self.stats.clauses_pushed = frames.clauses_pushed
+                    if fixpoint is not None:
+                        return self._pass(k, fixpoint)
             k = frames.add_level()
         return self._unknown(self.options.max_bound,
                              "frame limit reached without convergence")
@@ -113,6 +121,9 @@ class PdrEngine(UmcEngine):
         queue.push(root)
         while queue:
             obligation = queue.pop()
+            if self.tracer.enabled:
+                self.tracer.point("obligation_pop", level=obligation.level,
+                                  cube_size=len(obligation.cube))
             answer = frames.check_obligation(obligation.cube, obligation.level)
             if answer[0] == "blocked":
                 cube, level = self._generalize_and_push(
@@ -143,13 +154,14 @@ class PdrEngine(UmcEngine):
     def _generalize_and_push(self, frames: FrameSequence, cube, level: int,
                              k: int):
         """Generalize a blocked cube, then push its clause as far as it holds."""
-        cube = generalize(frames, cube, level, self.options.pdr_gen_budget)
-        while level < k:
-            answer = frames.check_obligation(cube, level + 1)
-            if answer[0] != "blocked":
-                break
-            cube = answer[1]
-            level += 1
+        with self.tracer.span("generalize"):
+            cube = generalize(frames, cube, level, self.options.pdr_gen_budget)
+            while level < k:
+                answer = frames.check_obligation(cube, level + 1)
+                if answer[0] != "blocked":
+                    break
+                cube = answer[1]
+                level += 1
         return cube, level
 
     # ------------------------------------------------------------------ #

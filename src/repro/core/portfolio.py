@@ -50,13 +50,19 @@ ENGINES: Dict[str, Type[UmcEngine]] = {
 
 
 def run_engine(name: str, model: Model,
-               options: Optional[EngineOptions] = None) -> VerificationResult:
+               options: Optional[EngineOptions] = None,
+               tracer=None) -> VerificationResult:
     """Instantiate and run one engine by its registry name."""
     try:
         engine_cls = ENGINES[name]
     except KeyError as exc:
         raise KeyError(f"unknown engine {name!r}; known: {sorted(ENGINES)}") from exc
-    return engine_cls(model, options).run()
+    if tracer is None:
+        # Keep the two-argument constructor contract for engine subclasses
+        # that predate tracing (ad-hoc test engines monkeypatched into the
+        # registry included): the kwarg only travels when a tracer exists.
+        return engine_cls(model, options).run()
+    return engine_cls(model, options, tracer=tracer).run()
 
 
 class Portfolio:
@@ -71,7 +77,9 @@ class Portfolio:
         self.options = options or EngineOptions()
 
     def run_first_solved(self, model: Model, parallel: bool = False,
-                         jobs: Optional[int] = None) -> VerificationResult:
+                         jobs: Optional[int] = None, tracer=None,
+                         events_path: Optional[str] = None
+                         ) -> VerificationResult:
         """Return the first definitive PASS/FAIL answer.
 
         Sequentially (the default) the engines take turns in registry
@@ -81,15 +89,21 @@ class Portfolio:
         registry order (``jobs`` caps the concurrent workers; default one
         per engine).  If nothing solves the instance, the last engine's
         result is returned in both modes.
+
+        ``tracer`` threads span tracing through the sequential mode; the
+        parallel mode instead takes ``events_path`` (tracers hold live sinks
+        and never cross a process boundary) and merges the per-worker
+        segments there.
         """
         if parallel:
             from ..parallel import race_engines  # deferred: import cycle
             outcome = race_engines(model, self.engine_names, self.options,
-                                   jobs=jobs, first_result_wins=True)
+                                   jobs=jobs, first_result_wins=True,
+                                   events_path=events_path)
             return outcome.result
         last: Optional[VerificationResult] = None
         for name in self.engine_names:
-            result = run_engine(name, model, self.options)
+            result = run_engine(name, model, self.options, tracer=tracer)
             last = result
             if result.solved:
                 return result
@@ -97,24 +111,29 @@ class Portfolio:
         return last
 
     def run_all(self, model: Model, parallel: bool = False,
-                jobs: Optional[int] = None) -> Dict[str, VerificationResult]:
+                jobs: Optional[int] = None, tracer=None,
+                events_path: Optional[str] = None
+                ) -> Dict[str, VerificationResult]:
         """Run every engine and return all results keyed by engine name.
 
         With ``parallel=True`` the engines run concurrently but *all* of
         them are joined (no cancellation): this mode exists for the
         cross-engine comparison, so every member's answer is collected and
         the disagreement check below applies to exactly the same set of
-        results as in the sequential mode.
+        results as in the sequential mode.  ``tracer`` / ``events_path``
+        follow the same split as :meth:`run_first_solved`.
         """
         results: Dict[str, VerificationResult] = {}
         if parallel:
             from ..parallel import race_engines  # deferred: import cycle
             outcome = race_engines(model, self.engine_names, self.options,
-                                   jobs=jobs, first_result_wins=False)
+                                   jobs=jobs, first_result_wins=False,
+                                   events_path=events_path)
             results = outcome.results
         else:
             for name in self.engine_names:
-                results[name] = run_engine(name, model, self.options)
+                results[name] = run_engine(name, model, self.options,
+                                           tracer=tracer)
         verdicts = {r.verdict for r in results.values() if r.solved}
         if len(verdicts) > 1:
             raise RuntimeError(

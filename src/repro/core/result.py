@@ -19,7 +19,25 @@ from typing import Dict, Optional
 
 from ..bmc.cex import Trace
 
-__all__ = ["Verdict", "VerificationResult", "EngineStats"]
+__all__ = ["Verdict", "VerificationResult", "EngineStats", "STAT_GROUPS"]
+
+#: Subsystem grouping of the :class:`EngineStats` counters.  Every key of
+#: :meth:`EngineStats.as_dict` appears in exactly one group; engines declare
+#: which groups are structurally meaningful for them via their
+#: ``stat_groups`` class attribute, and the CLI's ``--stats`` rendering
+#: suppresses the groups an engine can only ever report as zero.
+STAT_GROUPS: Dict[str, tuple] = {
+    "solver": ("sat_calls", "sat_time", "clauses_added", "conflicts",
+               "propagations", "max_call_conflicts"),
+    "preprocess": ("pre_inputs_removed", "pre_latches_removed",
+                   "pre_ands_removed", "pre_cnf_clauses_eliminated",
+                   "fraig_classes", "fraig_merges", "fraig_sat_confirms"),
+    "lifecycle": ("itp_extractions", "itp_nodes", "containment_checks",
+                  "proof_nodes_trimmed", "itp_ands_compacted",
+                  "fixpoint_encodings_reused", "fixpoint_groups_shed"),
+    "pdr": ("blocked_cubes", "clauses_pushed"),
+    "cba": ("refinements", "abstract_latches"),
+}
 
 
 class Verdict(enum.Enum):
@@ -127,6 +145,19 @@ class EngineStats:
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
             "fixpoint_groups_shed": self.fixpoint_groups_shed,
         }
+
+    def grouped(self, groups=None) -> "Dict[str, Dict[str, float]]":
+        """The :meth:`as_dict` counters bucketed by subsystem.
+
+        ``groups`` selects (and orders) the buckets; ``None`` means every
+        bucket of :data:`STAT_GROUPS`.  Unknown group names raise
+        ``KeyError`` — a typo in an engine's ``stat_groups`` should surface
+        loudly, not silently drop counters.
+        """
+        flat = self.as_dict()
+        selected = tuple(groups) if groups is not None else tuple(STAT_GROUPS)
+        return {group: {name: flat[name] for name in STAT_GROUPS[group]}
+                for group in selected}
 
 
 @dataclass

@@ -152,21 +152,27 @@ class SerialItpSeqEngine(ItpSeqEngine):
             self._current_bound = k
             self._check_budget()
 
-            # Incremental counterexample search first; after its UNSAT the
-            # proof-logged check only runs to record the refutation (base.py).
-            trace = self._search_counterexample(k)
-            if trace is not None:
-                return self._fail(k, trace)
+            with self._bound_span(k):
+                # Incremental counterexample search first; after its UNSAT the
+                # proof-logged check only runs to record the refutation
+                # (base.py).
+                trace = self._search_counterexample(k)
+                if trace is not None:
+                    return self._fail(k, trace)
 
-            unroller = build_check(self.options.bmc_check, self.model, k,
-                                   proof_logging=True)
-            if self._solve(unroller.solver) is SatResult.SAT:
-                return self._fail(k, unroller.extract_trace(k))
+                with self.tracer.span("refutation"):
+                    unroller = build_check(self.options.bmc_check, self.model,
+                                           k, proof_logging=True)
+                    sat = self._solve(unroller.solver) is SatResult.SAT
+                if sat:
+                    return self._fail(k, unroller.extract_trace(k))
 
-            elements = compute_serial_sequence(self, self.model, k,
-                                               self._reduced_proof(unroller.solver),
-                                               unroller)
-            outcome = self._update_columns(columns, elements, k, init_predicate)
+                proof = self._reduced_proof(unroller.solver)
+                with self.tracer.span("itp_extract"):
+                    elements = compute_serial_sequence(self, self.model, k,
+                                                       proof, unroller)
+                outcome = self._update_columns(columns, elements, k,
+                                               init_predicate)
             if outcome is not None:
                 return outcome
         return self._unknown(self.options.max_bound,

@@ -26,6 +26,8 @@ and the deterministic render modes).
 
 from __future__ import annotations
 
+import logging
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -38,6 +40,8 @@ from ..parallel import parallel_map
 from .records import EngineRecord, InstanceRecord
 
 __all__ = ["HarnessConfig", "ExperimentRunner", "ProgressCallback"]
+
+_log = logging.getLogger("repro.harness")
 
 #: Per-instance progress callback: ``(instance_name, elapsed_seconds,
 #: record)``, fired once per instance in suite order.
@@ -76,6 +80,12 @@ class HarnessConfig:
     #: Model preprocessing for every engine cell (the BDD baseline always
     #: sees the raw circuit — its exact diameters are part of the tables).
     preprocess: bool = True
+    #: Directory for span-trace event streams (``None`` = tracing off).
+    #: Every engine cell writes ``<events_dir>/<instance>__<engine>.jsonl``
+    #: and ``run_suite`` merges them into ``<events_dir>/suite.jsonl`` in
+    #: suite × engine order, so the merged stream is identical at any job
+    #: count.  The BDD baseline cells are never traced (no SAT counters).
+    events_dir: Optional[str] = None
 
     def options(self) -> EngineOptions:
         if self.engine_options is not None:
@@ -99,6 +109,26 @@ class HarnessConfig:
 _BDD_CELL = "__bdd__"
 
 
+def _cell_events_path(events_dir: str, instance_name: str,
+                      engine_name: str) -> str:
+    return os.path.join(events_dir, f"{instance_name}__{engine_name}.jsonl")
+
+
+def _cell_tracer(config: HarnessConfig, instance_name: str, kind: str):
+    """Build the per-cell tracer, or ``None`` when tracing is off.
+
+    Tracers are always constructed cell-locally (worker side under a pool)
+    — they hold open file handles and never cross a process boundary.
+    """
+    if config.events_dir is None or kind == _BDD_CELL:
+        return None
+    from ..obs.sinks import JsonlSink
+    from ..obs.tracer import Tracer
+
+    return Tracer(JsonlSink(
+        _cell_events_path(config.events_dir, instance_name, kind)))
+
+
 def _run_cell(spec: Tuple[str, str, HarnessConfig]):
     """Execute one (instance, engine-or-BDD) cell; module-level for pickling."""
     instance_name, kind, config = spec
@@ -107,7 +137,12 @@ def _run_cell(spec: Tuple[str, str, HarnessConfig]):
     if kind == _BDD_CELL:
         return check_with_bdds(model, max_nodes=config.bdd_node_limit,
                                time_limit=config.bdd_time_limit)
-    result = run_engine(kind, model, config.options())
+    tracer = _cell_tracer(config, instance_name, kind)
+    try:
+        result = run_engine(kind, model, config.options(), tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     return EngineRecord.from_result(result)
 
 
@@ -142,7 +177,13 @@ class ExperimentRunner:
                                          time_limit=self.config.bdd_time_limit)
         options = self.config.options()
         for engine_name in engines or self.config.engines:
-            result = run_engine(engine_name, model, options)
+            tracer = _cell_tracer(self.config, instance.name, engine_name)
+            try:
+                result = run_engine(engine_name, model, options,
+                                    tracer=tracer)
+            finally:
+                if tracer is not None:
+                    tracer.close()
             record.engines[engine_name] = EngineRecord.from_result(result)
         self._check_record(record)
         return record
@@ -182,16 +223,43 @@ class ExperimentRunner:
         """
         instances = list(instances) if instances is not None else full_suite()
         effective_jobs = self.config.jobs if jobs is None else jobs
+        _log.info("suite run: %d instances x %d engines (jobs=%s)",
+                  len(instances), len(self.config.engines), effective_jobs)
         if effective_jobs == 1:
             records: List[InstanceRecord] = []
             for instance in instances:
                 started = time.monotonic()
                 record = self.run_instance(instance)
                 records.append(record)
+                _log.info("instance %s done (%.2fs)", instance.name,
+                          time.monotonic() - started)
                 if progress is not None:
                     progress(instance.name, time.monotonic() - started, record)
-            return records
-        return self._run_suite_pooled(instances, progress, effective_jobs)
+        else:
+            records = self._run_suite_pooled(instances, progress,
+                                             effective_jobs)
+        self._merge_suite_events(instances)
+        return records
+
+    def _merge_suite_events(self, instances: List[SuiteInstance]) -> None:
+        """Merge per-cell event files into ``suite.jsonl``, suite order.
+
+        Concatenation order is suite × engines — never worker completion
+        order — so the merged stream at ``--jobs N`` is identical to the
+        ``--jobs 1`` one.  Missing cell files (BDD cells, or engines that
+        crashed before their first event) are skipped.
+        """
+        events_dir = self.config.events_dir
+        if events_dir is None:
+            return
+        from ..obs.sinks import merge_segments
+
+        paths = [_cell_events_path(events_dir, instance.name, engine_name)
+                 for instance in instances
+                 for engine_name in self.config.engines]
+        merged = merge_segments(paths, os.path.join(events_dir, "suite.jsonl"))
+        _log.info("merged %d trace events into %s", merged,
+                  os.path.join(events_dir, "suite.jsonl"))
 
     def _run_suite_pooled(self, instances: List[SuiteInstance],
                           progress: Optional[ProgressCallback],

@@ -1,0 +1,45 @@
+"""Observability: structured span tracing, event sinks, logging, reporting.
+
+The subsystem has four small parts:
+
+* :mod:`repro.obs.events` — the :class:`TraceEvent` schema (deterministic
+  counters, optional wall clock) and its validator;
+* :mod:`repro.obs.tracer` — :class:`Tracer` (nested spans + point events)
+  and the no-op :class:`NullTracer` default;
+* :mod:`repro.obs.sinks` — :class:`JsonlSink` / :class:`ListSink` plus the
+  cross-process segment merge;
+* :mod:`repro.obs.report` — the ``python -m repro.obs.report`` consumer
+  (imported lazily; it is a CLI tool, not a library dependency).
+
+:func:`configure_logging` wires the CLI's ``-v/-vv`` to the ``repro.*``
+logger hierarchy.
+"""
+
+from .events import (BEGIN, COUNTER_FIELDS, END, POINT, SCHEMA_VERSION,
+                     SchemaError, TraceEvent, validate_event)
+from .logcfg import configure_logging
+from .sinks import (JsonlSink, ListSink, Sink, merge_segments, read_jsonl,
+                    segment_path, worker_segments)
+from .tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "BEGIN",
+    "END",
+    "POINT",
+    "COUNTER_FIELDS",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "TraceEvent",
+    "validate_event",
+    "configure_logging",
+    "Sink",
+    "ListSink",
+    "JsonlSink",
+    "merge_segments",
+    "read_jsonl",
+    "segment_path",
+    "worker_segments",
+    "NullTracer",
+    "NULL_TRACER",
+    "Tracer",
+]

@@ -1,0 +1,177 @@
+"""The structured trace event: one schema shared by tracer, sinks and report.
+
+A trace is a flat stream of events describing a tree of *spans* (begin/end
+pairs) plus *points* (instantaneous markers).  The stream is designed
+around the repo's determinism discipline:
+
+* every field except ``wall`` is **deterministic** — identical across
+  machines, job counts and reruns, because span counters are deltas of the
+  engines' deterministic solver counters (clause additions, conflicts,
+  propagations; the currency of ``EngineOptions.max_clauses`` /
+  ``max_propagations``);
+* ``wall`` (seconds inside a span) is the *only* wall-clock field and is
+  dropped by :meth:`TraceEvent.deterministic_dict`, so committed or
+  CI-compared projections of a trace never contain machine-dependent
+  bytes (mirroring ``records.as_deterministic_dict``).
+
+Events are plain dataclasses with scalar attributes, so they are
+pickle-safe like everything else that crosses the repo's process
+boundaries, and they round-trip through the JSONL wire form
+(:meth:`as_dict` / :meth:`from_dict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+__all__ = ["SCHEMA_VERSION", "BEGIN", "END", "POINT", "COUNTER_FIELDS",
+           "TraceEvent", "SchemaError", "validate_event"]
+
+#: Bump on any incompatible change to the wire form below; the report tool
+#: and the CI schema check refuse streams from a different major version.
+SCHEMA_VERSION = 1
+
+BEGIN = "begin"
+END = "end"
+POINT = "point"
+
+_KINDS = (BEGIN, END, POINT)
+
+#: The deterministic counters every engine-bound span closes with (deltas
+#: of ``EngineStats``); point events may carry any subset in ``attrs``.
+COUNTER_FIELDS = ("sat_calls", "clauses_added", "conflicts", "propagations")
+
+#: Attribute values are restricted to JSON scalars so every event stays
+#: pickle- and JSON-round-trippable with no custom encoders.
+AttrValue = Union[str, int, float, bool, None]
+
+
+class SchemaError(ValueError):
+    """An event dict does not conform to the trace-event schema."""
+
+
+@dataclass
+class TraceEvent:
+    """One trace event (see the module docstring for the determinism split).
+
+    ``seq`` increases strictly within one tracer's stream; a merged
+    multi-process trace therefore contains one *segment* per worker, and
+    readers detect segment boundaries by ``seq`` resets
+    (:func:`repro.obs.report.split_segments`).  ``span_id`` is unique per
+    segment, not globally.
+    """
+
+    kind: str
+    seq: int
+    name: str
+    span_id: Optional[int] = None     # begin/end only
+    parent_id: Optional[int] = None   # enclosing span (None at top level)
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)  # end only
+    wall: Optional[float] = None      # end only; never in deterministic form
+
+    # ------------------------------------------------------------------ #
+    # Wire form
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, object]:
+        """The JSONL wire form (includes ``wall`` when present)."""
+        out: Dict[str, object] = {"v": SCHEMA_VERSION, "kind": self.kind,
+                                  "seq": self.seq, "name": self.name,
+                                  "parent": self.parent_id}
+        if self.kind in (BEGIN, END):
+            out["id"] = self.span_id
+        if self.kind in (BEGIN, POINT):
+            out["attrs"] = dict(self.attrs)
+        if self.kind == END:
+            out["counters"] = dict(self.counters)
+            if self.wall is not None:
+                out["wall"] = self.wall
+        return out
+
+    def deterministic_dict(self) -> Dict[str, object]:
+        """The wire form minus the wall clock — the CI-comparable bytes."""
+        out = self.as_dict()
+        out.pop("wall", None)
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "TraceEvent":
+        """Rebuild an event from its (validated) wire form."""
+        validate_event(data)
+        return TraceEvent(kind=data["kind"], seq=data["seq"],
+                          name=data["name"], span_id=data.get("id"),
+                          parent_id=data.get("parent"),
+                          attrs=dict(data.get("attrs", {})),
+                          counters=dict(data.get("counters", {})),
+                          wall=data.get("wall"))
+
+
+# --------------------------------------------------------------------- #
+# Schema validation (used by the report tool's --validate and by CI)
+# --------------------------------------------------------------------- #
+_REQUIRED = {
+    BEGIN: frozenset(("v", "kind", "seq", "name", "parent", "id", "attrs")),
+    END: frozenset(("v", "kind", "seq", "name", "parent", "id", "counters")),
+    POINT: frozenset(("v", "kind", "seq", "name", "parent", "attrs")),
+}
+_OPTIONAL = {
+    BEGIN: frozenset(),
+    END: frozenset(("wall",)),
+    POINT: frozenset(),
+}
+
+
+def _fail(message: str) -> None:
+    raise SchemaError(message)
+
+
+def validate_event(data: object) -> None:
+    """Raise :class:`SchemaError` unless ``data`` is a valid event dict."""
+    if not isinstance(data, dict):
+        _fail(f"event must be an object, got {type(data).__name__}")
+    if data.get("v") != SCHEMA_VERSION:
+        _fail(f"unsupported schema version {data.get('v')!r} "
+              f"(expected {SCHEMA_VERSION})")
+    kind = data.get("kind")
+    if kind not in _KINDS:
+        _fail(f"unknown event kind {kind!r}")
+    keys = set(data)
+    missing = _REQUIRED[kind] - keys
+    if missing:
+        _fail(f"{kind} event missing keys {sorted(missing)}")
+    unknown = keys - _REQUIRED[kind] - _OPTIONAL[kind]
+    if unknown:
+        _fail(f"{kind} event has unknown keys {sorted(unknown)}")
+    if not isinstance(data["seq"], int) or data["seq"] < 0:
+        _fail(f"seq must be a non-negative int, got {data['seq']!r}")
+    if not isinstance(data["name"], str) or not data["name"]:
+        _fail(f"name must be a non-empty string, got {data['name']!r}")
+    parent = data["parent"]
+    if parent is not None and (not isinstance(parent, int) or parent < 1):
+        _fail(f"parent must be null or a positive int, got {parent!r}")
+    if kind in (BEGIN, END):
+        if not isinstance(data["id"], int) or data["id"] < 1:
+            _fail(f"id must be a positive int, got {data['id']!r}")
+    if kind in (BEGIN, POINT):
+        attrs = data["attrs"]
+        if not isinstance(attrs, dict):
+            _fail(f"attrs must be an object, got {type(attrs).__name__}")
+        for key, value in attrs.items():
+            if not isinstance(key, str):
+                _fail(f"attr keys must be strings, got {key!r}")
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                _fail(f"attr {key!r} must be a JSON scalar, "
+                      f"got {type(value).__name__}")
+    if kind == END:
+        counters = data["counters"]
+        if not isinstance(counters, dict):
+            _fail(f"counters must be an object, got {type(counters).__name__}")
+        for key, value in counters.items():
+            if not isinstance(key, str):
+                _fail(f"counter keys must be strings, got {key!r}")
+            if not isinstance(value, int) or isinstance(value, bool):
+                _fail(f"counter {key!r} must be an int, got {value!r}")
+        wall = data.get("wall")
+        if wall is not None and not isinstance(wall, (int, float)):
+            _fail(f"wall must be a number, got {wall!r}")

@@ -1,0 +1,46 @@
+"""CLI logging configuration for the ``repro`` logger hierarchy.
+
+Every module in the package logs to a ``repro.*`` logger; the package root
+installs a ``NullHandler`` (library etiquette — silent by default, no
+"No handlers could be found" warnings).  The CLI maps its verbosity flags
+through :func:`configure_logging`: ``-v`` → INFO, ``-vv`` → DEBUG, both on
+stderr so machine-readable stdout (verdicts, stats) stays clean.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["configure_logging"]
+
+#: Marker attribute identifying the handler this module installed, so
+#: repeated configuration replaces it instead of stacking duplicates.
+_HANDLER_TAG = "_repro_cli_handler"
+
+
+def configure_logging(verbosity: int, stream: Optional[TextIO] = None) -> None:
+    """Install (or remove) the CLI's stderr handler on the ``repro`` root.
+
+    ``verbosity``: 0 removes the handler (library default — silent),
+    1 selects INFO, 2+ selects DEBUG.  Idempotent: calling again replaces
+    the previous handler, so tests and long-lived processes can reconfigure
+    freely.
+    """
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+            handler.close()
+    if verbosity <= 0:
+        root.setLevel(logging.NOTSET)
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(name)s %(levelname)s: %(message)s"))
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)

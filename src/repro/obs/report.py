@@ -1,0 +1,353 @@
+"""Trace consumer: ``python -m repro.obs.report trace.jsonl``.
+
+Reads one or more JSONL traces (single-run files from ``--events``, merged
+suite traces from ``HarnessConfig.events_dir``) and renders:
+
+* a **per-phase breakdown** — for every named phase span, the *self*
+  counter totals (the span's deltas minus its child spans', so nested
+  phases are never double-counted) plus self wall clock;
+* a **per-bound timeline** — the total counters of every ``bound`` span in
+  stream order, grouped per run;
+* the **top-N hardest SAT calls** — ``sat_call`` point events ranked by
+  conflicts, with their enclosing phase/bound/engine context.
+
+Merged multi-process traces contain one *segment* per worker; segments are
+detected by ``seq`` resets and span ids are scoped per segment, so merged
+``--jobs N`` traces read identically to their serial counterparts.
+
+``--validate`` checks every line strictly against the event schema
+(:func:`repro.obs.events.validate_event`) — the CI smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import BEGIN, END, POINT, COUNTER_FIELDS, SchemaError, validate_event
+from .sinks import read_jsonl
+
+__all__ = ["split_segments", "build_spans", "Span", "phase_breakdown",
+           "attribution", "render_report", "main"]
+
+#: Structural spans organise the tree (run → bound → phase) and are not
+#: themselves phases: their self-effort should be ~0, and the attribution
+#: metric measures exactly how much effort escapes the named phases into
+#: them.
+STRUCTURAL_SPANS = frozenset(("run", "bound"))
+
+
+class Span:
+    """One reconstructed span: identity, attrs, totals, children."""
+
+    __slots__ = ("key", "name", "attrs", "parent_key", "counters", "wall",
+                 "children", "order")
+
+    def __init__(self, key, name, attrs, parent_key, order):
+        self.key = key                  # (segment_index, span_id)
+        self.name = name
+        self.attrs = attrs
+        self.parent_key = parent_key
+        self.counters: Optional[Dict[str, int]] = None  # None = never closed
+        self.wall: Optional[float] = None
+        self.children: List["Span"] = []
+        self.order = order              # (segment_index, begin seq)
+
+    def counter(self, key: str) -> int:
+        return (self.counters or {}).get(key, 0)
+
+    def self_counter(self, key: str) -> int:
+        """This span's counter minus its closed children's (never negative)."""
+        if self.counters is None:
+            return 0
+        return max(0, self.counter(key)
+                   - sum(child.counter(key) for child in self.children))
+
+    def self_wall(self) -> Optional[float]:
+        if self.wall is None:
+            return None
+        children = sum(child.wall or 0.0 for child in self.children)
+        return max(0.0, self.wall - children)
+
+
+def split_segments(events: Sequence[dict]) -> List[List[dict]]:
+    """Split a merged stream into per-worker segments at ``seq`` resets."""
+    segments: List[List[dict]] = []
+    last_seq = None
+    for event in events:
+        seq = event.get("seq", 0)
+        if last_seq is None or seq <= last_seq:
+            segments.append([])
+        segments[-1].append(event)
+        last_seq = seq
+    return segments
+
+
+def build_spans(events: Sequence[dict]
+                ) -> Tuple[Dict[tuple, Span], List[Tuple[tuple, dict]]]:
+    """Reconstruct the span forest of a (possibly merged) stream.
+
+    Returns ``(spans, points)``: spans keyed by ``(segment, id)``; points as
+    ``(parent_key_or_None, event_dict)`` in stream order.  Spans without an
+    end event (terminated workers) stay open — ``counters is None`` — and
+    contribute nothing to any total.
+    """
+    spans: Dict[tuple, Span] = {}
+    points: List[Tuple[tuple, dict]] = []
+    for segment_index, segment in enumerate(split_segments(events)):
+        for event in segment:
+            kind = event.get("kind")
+            parent = event.get("parent")
+            parent_key = (segment_index, parent) if parent is not None else None
+            if kind == BEGIN:
+                key = (segment_index, event["id"])
+                span = Span(key, event.get("name", "?"),
+                            event.get("attrs", {}), parent_key,
+                            (segment_index, event.get("seq", 0)))
+                spans[key] = span
+                if parent_key is not None and parent_key in spans:
+                    spans[parent_key].children.append(span)
+            elif kind == END:
+                key = (segment_index, event["id"])
+                span = spans.get(key)
+                if span is not None:
+                    span.counters = event.get("counters", {})
+                    span.wall = event.get("wall")
+            elif kind == POINT:
+                points.append((parent_key, event))
+    return spans, points
+
+
+# --------------------------------------------------------------------- #
+# Analyses
+# --------------------------------------------------------------------- #
+def _ancestors(span: Span, spans: Dict[tuple, Span]):
+    current = span
+    while current.parent_key is not None:
+        current = spans.get(current.parent_key)
+        if current is None:
+            return
+        yield current
+
+
+def _enclosing(spans: Dict[tuple, Span], key: Optional[tuple],
+               want: str) -> Optional[Span]:
+    """The innermost span at/above ``key`` whose name is ``want``."""
+    if key is None or key not in spans:
+        return None
+    span = spans[key]
+    if span.name == want:
+        return span
+    for ancestor in _ancestors(span, spans):
+        if ancestor.name == want:
+            return ancestor
+    return None
+
+
+def phase_breakdown(spans: Dict[tuple, Span]) -> List[dict]:
+    """Aggregate self-effort per phase name, heaviest clause work first."""
+    rows: Dict[str, dict] = {}
+    for span in spans.values():
+        if span.name in STRUCTURAL_SPANS or span.counters is None:
+            continue
+        row = rows.setdefault(span.name, {"phase": span.name, "spans": 0,
+                                          "wall": 0.0, "has_wall": False,
+                                          **{k: 0 for k in COUNTER_FIELDS}})
+        row["spans"] += 1
+        for key in COUNTER_FIELDS:
+            row[key] += span.self_counter(key)
+        self_wall = span.self_wall()
+        if self_wall is not None:
+            row["wall"] += self_wall
+            row["has_wall"] = True
+    return sorted(rows.values(),
+                  key=lambda r: (-r["clauses_added"], -r["propagations"],
+                                 r["phase"]))
+
+
+def totals(spans: Dict[tuple, Span]) -> Dict[str, int]:
+    """Whole-stream counter totals: the sum over closed top-level spans."""
+    out = {key: 0 for key in COUNTER_FIELDS}
+    for span in spans.values():
+        if span.parent_key is None and span.counters is not None:
+            for key in COUNTER_FIELDS:
+                out[key] += span.counter(key)
+    return out
+
+
+def attribution(spans: Dict[tuple, Span],
+                counter: str = "clauses_added") -> Tuple[int, int, float]:
+    """How much of ``counter`` the named phase spans account for.
+
+    Returns ``(attributed, total, fraction)`` where *attributed* sums the
+    self-deltas of every non-structural span and *total* sums the
+    top-level spans.  The acceptance bar for this subsystem is ≥ 0.95 on
+    ``clauses_added`` — effort escaping into structural spans means an
+    uninstrumented code path.
+    """
+    attributed = sum(span.self_counter(counter) for span in spans.values()
+                     if span.name not in STRUCTURAL_SPANS)
+    total = totals(spans)[counter]
+    fraction = (attributed / total) if total else 1.0
+    return attributed, total, fraction
+
+
+def bound_timeline(spans: Dict[tuple, Span]) -> List[dict]:
+    """One row per closed ``bound`` span, in stream order."""
+    rows = []
+    for span in sorted(spans.values(), key=lambda s: s.order):
+        if span.name != "bound" or span.counters is None:
+            continue
+        run = next((a for a in _ancestors(span, spans) if a.name == "run"), None)
+        rows.append({
+            "engine": (run.attrs.get("engine") if run else None) or "?",
+            "model": (run.attrs.get("model") if run else None) or "?",
+            "bound": span.attrs.get("bound", "?"),
+            "wall": span.wall,
+            **{key: span.counter(key) for key in COUNTER_FIELDS},
+        })
+    return rows
+
+
+def hardest_sat_calls(spans: Dict[tuple, Span],
+                      points: List[Tuple[tuple, dict]],
+                      top: int = 10) -> List[dict]:
+    """The ``top`` hardest ``sat_call`` points by conflicts, with context."""
+    calls = []
+    for segment_order, (parent_key, event) in enumerate(points):
+        if event.get("name") != "sat_call":
+            continue
+        attrs = event.get("attrs", {})
+        phase = None
+        if parent_key is not None and parent_key in spans:
+            span = spans[parent_key]
+            chain = [span] + list(_ancestors(span, spans))
+            phase = next((s.name for s in chain
+                          if s.name not in STRUCTURAL_SPANS), None)
+        bound_span = _enclosing(spans, parent_key, "bound")
+        run_span = _enclosing(spans, parent_key, "run")
+        calls.append({
+            "conflicts": attrs.get("conflicts", 0) or 0,
+            "propagations": attrs.get("propagations", 0) or 0,
+            "clauses_added": attrs.get("clauses_added", 0) or 0,
+            "phase": phase or "?",
+            "bound": bound_span.attrs.get("bound") if bound_span else None,
+            "engine": run_span.attrs.get("engine") if run_span else None,
+            "model": run_span.attrs.get("model") if run_span else None,
+            "_order": segment_order,
+        })
+    calls.sort(key=lambda c: (-c["conflicts"], -c["propagations"], c["_order"]))
+    return calls[:top]
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _wall(value: Optional[float]) -> str:
+    return f"{value:.3f}" if value is not None else "-"
+
+
+def render_report(events: Sequence[dict], top: int = 10,
+                  max_bounds: int = 40) -> str:
+    """Render the full three-section report for one event stream."""
+    spans, points = build_spans(events)
+    sections: List[str] = []
+
+    phases = phase_breakdown(spans)
+    header = ["phase", "spans"] + list(COUNTER_FIELDS) + ["wall_s"]
+    rows = [[p["phase"], p["spans"]] + [p[k] for k in COUNTER_FIELDS]
+            + [_wall(p["wall"] if p["has_wall"] else None)] for p in phases]
+    sections.append("== Per-phase breakdown (self effort) ==\n"
+                    + (_table(header, rows) if rows else "(no phase spans)"))
+
+    attributed, total, fraction = attribution(spans)
+    sections.append(f"phase attribution: {attributed}/{total} clauses_added "
+                    f"({fraction:.1%}) in named phase spans")
+
+    timeline = bound_timeline(spans)
+    shown = timeline[:max_bounds]
+    header = ["engine", "model", "bound"] + list(COUNTER_FIELDS) + ["wall_s"]
+    rows = [[b["engine"], b["model"], b["bound"]]
+            + [b[k] for k in COUNTER_FIELDS] + [_wall(b["wall"])]
+            for b in shown]
+    timeline_text = _table(header, rows) if rows else "(no bound spans)"
+    if len(timeline) > len(shown):
+        timeline_text += (f"\n... {len(timeline) - len(shown)} more bound "
+                          f"rows (rerun with --max-bounds 0 for all)")
+    sections.append("== Per-bound timeline (total effort) ==\n" + timeline_text)
+
+    calls = hardest_sat_calls(spans, points, top=top)
+    header = ["engine", "model", "phase", "bound", "conflicts",
+              "propagations", "clauses_added"]
+    rows = [[c["engine"] or "?", c["model"] or "?", c["phase"],
+             c["bound"] if c["bound"] is not None else "-", c["conflicts"],
+             c["propagations"], c["clauses_added"]] for c in calls]
+    sections.append(f"== Top {len(calls)} hardest SAT calls ==\n"
+                    + (_table(header, rows) if rows else "(no sat_call events)"))
+
+    return "\n\n".join(sections) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render per-phase / per-bound / per-call breakdowns of "
+                    "a repro trace (JSONL from --events or events_dir).")
+    parser.add_argument("files", nargs="+", metavar="TRACE",
+                        help="JSONL trace file(s)")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="hardest SAT calls to show (default: 10)")
+    parser.add_argument("--max-bounds", type=int, default=40, metavar="N",
+                        help="timeline rows to show, 0 = all (default: 40)")
+    parser.add_argument("--validate", action="store_true",
+                        help="strictly validate every event against the "
+                             "schema and exit (non-zero on any violation)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        try:
+            events = read_jsonl(path)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.validate:
+            bad = 0
+            for index, event in enumerate(events):
+                try:
+                    validate_event(event)
+                except SchemaError as exc:
+                    print(f"{path}:{index + 1}: {exc}", file=sys.stderr)
+                    bad += 1
+            if bad:
+                status = 1
+            else:
+                print(f"{path}: {len(events)} events valid "
+                      f"(schema v{events[0]['v'] if events else '?'})")
+            continue
+        if len(args.files) > 1:
+            print(f"==== {path} ====")
+        max_bounds = args.max_bounds if args.max_bounds > 0 else len(events)
+        print(render_report(events, top=args.top, max_bounds=max_bounds),
+              end="")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Event sinks: where a tracer's events go.
+
+Two concrete sinks cover the system's needs:
+
+* :class:`ListSink` — in-memory, for tests and programmatic consumers;
+* :class:`JsonlSink` — one JSON object per line, flushed per event so a
+  worker terminated mid-race still leaves a prefix of complete lines
+  behind (plus at most one torn final line, which the readers discard).
+
+Multi-process runs produce one JSONL *segment* per worker;
+:func:`merge_segments` concatenates them in the caller's (suite/registry)
+order, keeping only complete newline-terminated lines, so a merged trace
+is deterministic given deterministic segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Sequence
+
+from .events import TraceEvent
+
+__all__ = ["Sink", "ListSink", "JsonlSink", "merge_segments", "read_jsonl",
+           "segment_path", "worker_segments"]
+
+
+class Sink:
+    """Sink protocol: receive events, release resources on close."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink(Sink):
+    """Collect events in memory (``sink.events``)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class JsonlSink(Sink):
+    """Append events to ``path``, one sorted-key JSON object per line.
+
+    Keys are sorted and separators minimal so identical event streams
+    serialise to identical bytes — the property the cross-process identity
+    tests compare on.  Each line is flushed immediately: a race loser
+    killed mid-run leaves a valid prefix, not a corrupt file.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event.as_dict(), self._handle,
+                  sort_keys=True, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def _complete_lines(path: str) -> List[str]:
+    """The newline-terminated lines of ``path`` (drops a torn final line)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    complete = content if content.endswith("\n") else content[:content.rfind("\n") + 1]
+    return [line for line in complete.splitlines() if line.strip()]
+
+
+def merge_segments(paths: Sequence[str], out_path: str,
+                   remove: bool = False) -> int:
+    """Concatenate JSONL segments into ``out_path`` in the given order.
+
+    Missing segments are skipped (a worker may have produced no events);
+    torn final lines (terminated workers) are dropped.  Returns the number
+    of lines written.  With ``remove`` the source segments are deleted
+    after a successful merge.
+    """
+    lines: List[str] = []
+    present: List[str] = []
+    for path in paths:
+        if not os.path.exists(path):
+            continue
+        present.append(path)
+        lines.extend(_complete_lines(path))
+    parent = os.path.dirname(os.path.abspath(out_path))
+    os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    if remove:
+        for path in present:
+            os.remove(path)
+    return len(lines)
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSONL trace into event dicts (tolerant of a torn last line).
+
+    Lines that fail to parse are skipped rather than fatal — the readers
+    must cope with segments from terminated workers; strict validation is
+    the report tool's ``--validate`` mode.
+    """
+    events: List[dict] = []
+    for line in _complete_lines(path):
+        try:
+            data = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(data, dict):
+            events.append(data)
+    return events
+
+
+def segment_path(base: str, label: str) -> str:
+    """The per-worker segment path convention: ``<base>.<label>.part``."""
+    return f"{base}.{label}.part"
+
+
+def worker_segments(base: Optional[str], labels: Sequence[str]) -> List[str]:
+    """Segment paths for ``labels`` in order (empty when tracing is off)."""
+    if base is None:
+        return []
+    return [segment_path(base, label) for label in labels]

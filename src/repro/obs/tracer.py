@@ -1,0 +1,170 @@
+"""Span tracers: the instrumentation handle every layer threads through.
+
+Two implementations share one interface:
+
+* :class:`NullTracer` — the default everywhere.  ``enabled`` is False and
+  every method is a no-op returning shared singletons, so an untraced run
+  pays one attribute load and a constant context manager per span — no
+  event objects, no counter sampling, no I/O.  Hot paths that would build
+  attribute dicts guard on ``tracer.enabled`` and skip even that.
+* :class:`Tracer` — emits :class:`~repro.obs.events.TraceEvent` objects to
+  a :class:`~repro.obs.sinks.Sink`.  Spans nest via a stack; each span
+  closes with the *delta* of the deterministic counter source bound with
+  :meth:`bind_counters` (the engines bind a sampler over their live
+  ``EngineStats``), plus the span's wall clock unless ``wall_clock`` is
+  off.  Key spans are mirrored as DEBUG lines on the ``repro.obs.trace``
+  logger, so ``-vv`` gives phase visibility without any sink.
+
+Tracers are process-local and never cross a pipe: workers receive *paths*
+and build their own ``Tracer(JsonlSink(path))`` (see ``parallel/race.py``
+and ``harness/runner.py``).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, Optional
+
+from .events import BEGIN, END, POINT, TraceEvent
+from .sinks import Sink
+
+__all__ = ["NullTracer", "Tracer", "NULL_TRACER"]
+
+_log = logging.getLogger("repro.obs.trace")
+
+#: ``bind_counters`` source: a zero-argument callable returning the current
+#: cumulative deterministic counters (name -> int).
+CounterSource = Callable[[], Dict[str, int]]
+
+
+class _NullSpan:
+    """The shared no-op context manager ``NullTracer.span`` returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every method is a no-op (see module docstring)."""
+
+    enabled = False
+
+    def bind_counters(self, source: CounterSource) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def point(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared default instance — stateless, so one is enough for the process.
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """Context manager for one live span of a :class:`Tracer`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "_snapshot", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        tracer = self.tracer
+        self.span_id = tracer._next_span_id
+        tracer._next_span_id += 1
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        tracer._emit(TraceEvent(kind=BEGIN, seq=tracer._next_seq(),
+                                name=self.name, span_id=self.span_id,
+                                parent_id=self.parent_id, attrs=self.attrs))
+        tracer._stack.append(self.span_id)
+        self._snapshot = tracer._sample()
+        self._started = time.monotonic() if tracer.wall_clock else None
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self.tracer
+        tracer._stack.pop()
+        now = tracer._sample()
+        counters = {key: now[key] - self._snapshot.get(key, 0) for key in now}
+        wall = (time.monotonic() - self._started
+                if self._started is not None else None)
+        tracer._emit(TraceEvent(kind=END, seq=tracer._next_seq(),
+                                name=self.name, span_id=self.span_id,
+                                parent_id=self.parent_id, counters=counters,
+                                wall=wall))
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug("span %s%s closed: %s", self.name,
+                       self.attrs or "", counters)
+        return False
+
+
+class Tracer(NullTracer):
+    """Emit nested spans and point events to ``sink``.
+
+    ``wall_clock=False`` produces a fully deterministic stream (no ``wall``
+    field anywhere); the default keeps wall on end events, which every
+    deterministic projection strips (``TraceEvent.deterministic_dict``).
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Sink, wall_clock: bool = True) -> None:
+        self.sink = sink
+        self.wall_clock = wall_clock
+        self._seq = 0
+        self._next_span_id = 1
+        self._stack = []  # open span ids, innermost last
+        self._source: Optional[CounterSource] = None
+
+    # -- wiring --------------------------------------------------------- #
+    def bind_counters(self, source: CounterSource) -> None:
+        """Bind the deterministic counter sampler span deltas come from.
+
+        Rebinding is allowed (each engine run binds its own stats); spans
+        opened under one source must close under the same source, which
+        holds because engines bind before opening their run span.
+        """
+        self._source = source
+
+    def _sample(self) -> Dict[str, int]:
+        return dict(self._source()) if self._source is not None else {}
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _emit(self, event: TraceEvent) -> None:
+        self.sink.emit(event)
+
+    # -- public API ----------------------------------------------------- #
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager tracing one nested span."""
+        return _Span(self, name, attrs)
+
+    def point(self, name: str, **attrs) -> None:
+        """Emit an instantaneous event under the innermost open span."""
+        parent = self._stack[-1] if self._stack else None
+        self._emit(TraceEvent(kind=POINT, seq=self._next_seq(), name=name,
+                              parent_id=parent, attrs=attrs))
+
+    def close(self) -> None:
+        self.sink.close()

@@ -77,22 +77,37 @@ class RaceOutcome:
 
 
 def _race_worker(conn, engine_name: str, model: Model,
-                 options: EngineOptions) -> None:
+                 options: EngineOptions,
+                 events_path: Optional[str] = None) -> None:
     """Worker body: run one engine, send the result, close the pipe.
 
     Must stay importable at module level so the ``spawn`` start method can
     pickle it.  Any crash is reported as a message rather than a result;
     the parent synthesizes an UNKNOWN so one buggy engine cannot take the
     whole race down with it.
+
+    Tracers hold live file handles and are never pickled: the worker
+    receives the *base* events path and builds its own
+    :class:`~repro.obs.tracer.Tracer` over a per-engine segment file, which
+    the parent merges after the race.  The sink flushes per event line, so
+    a terminated loser leaves a clean prefix of complete lines behind.
     """
     from ..core.portfolio import run_engine  # deferred: avoids an import cycle
 
+    tracer = None
+    if events_path is not None:
+        from ..obs.sinks import JsonlSink, segment_path
+        from ..obs.tracer import Tracer
+
+        tracer = Tracer(JsonlSink(segment_path(events_path, engine_name)))
     try:
-        result = run_engine(engine_name, model, options)
+        result = run_engine(engine_name, model, options, tracer=tracer)
         conn.send(("result", result))
     except BaseException as exc:  # noqa: BLE001 - report, parent decides
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
+        if tracer is not None:
+            tracer.close()
         conn.close()
 
 
@@ -106,7 +121,8 @@ def _synthesized(engine_name: str, model_name: str, verdict: Verdict,
 def race_engines(model: Model, engine_names: Sequence[str],
                  options: Optional[EngineOptions] = None,
                  jobs: Optional[int] = None,
-                 first_result_wins: bool = True) -> RaceOutcome:
+                 first_result_wins: bool = True,
+                 events_path: Optional[str] = None) -> RaceOutcome:
     """Run ``engine_names`` on ``model`` concurrently; see module docstring.
 
     ``jobs`` caps the number of simultaneously running workers (default:
@@ -114,6 +130,11 @@ def race_engines(model: Model, engine_names: Sequence[str],
     in registry order as lanes free up.  With ``first_result_wins`` the
     race stops at the first definitive answer and losers are cancelled;
     otherwise every engine runs to completion (``run_all`` semantics).
+
+    With ``events_path`` every worker traces into a private segment file
+    next to that path; after the race the segments are merged into
+    ``events_path`` in registry order (never arrival order), so the merged
+    stream's committed form is machine-load independent.
     """
     options = options or EngineOptions()
     engine_names = list(engine_names)
@@ -138,7 +159,8 @@ def race_engines(model: Model, engine_names: Sequence[str],
             name = pending.pop(0)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             process = ctx.Process(target=_race_worker,
-                                  args=(child_conn, name, model, options),
+                                  args=(child_conn, name, model, options,
+                                        events_path),
                                   daemon=True, name=f"race-{name}")
             process.start()
             child_conn.close()  # the parent only reads
@@ -211,5 +233,10 @@ def race_engines(model: Model, engine_names: Sequence[str],
         if name not in results:
             results[name] = _synthesized(name, model.name, Verdict.OVERFLOW,
                                          "cancelled: never started", 0.0)
+    if events_path is not None:
+        from ..obs.sinks import merge_segments, worker_segments
+
+        merge_segments(worker_segments(events_path, engine_names),
+                       events_path, remove=True)
     ordered = {name: results[name] for name in engine_names}
     return RaceOutcome(winner=winner, results=ordered)

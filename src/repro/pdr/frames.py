@@ -72,7 +72,10 @@ class FrameSequence:
     """
 
     def __init__(self, model: Model, solver: Optional[CdclSolver] = None,
-                 solve: Optional[SolveHook] = None) -> None:
+                 solve: Optional[SolveHook] = None, tracer=None) -> None:
+        from ..obs.tracer import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if solver is None:
             solver = CdclSolver(proof_logging=False)
         if solver.proof_logging:
@@ -405,6 +408,9 @@ class FrameSequence:
                 group=self._groups[level])
         self._stale[level] = 0
         self.groups_rebuilt += 1
+        if self.tracer.enabled:
+            self.tracer.point("frame_rebuild", level=level,
+                              live=len(self._levels[level]))
 
     def frame_is_inductive(self, level: int) -> bool:
         """Diagnostic: is F_level an inductive invariant proving the property?

@@ -39,6 +39,7 @@ equivalences the cheap structural normalisation could not expose.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -51,6 +52,8 @@ from .modelmap import ModelMap
 __all__ = ["PassStats", "PassResult", "Pass", "CnfEliminationPass",
            "PreprocessResult", "Pipeline", "PASSES", "DEFAULT_PASSES",
            "build_pipeline"]
+
+_log = logging.getLogger("repro.preprocess")
 
 
 @dataclass
@@ -204,14 +207,20 @@ class Pipeline:
     def __init__(self, passes: Sequence[Pass]) -> None:
         self.passes = list(passes)
 
-    def run(self, model: Model) -> PreprocessResult:
+    def run(self, model: Model, tracer=None) -> PreprocessResult:
+        from ..obs.tracer import NULL_TRACER
+
+        tracer = tracer if tracer is not None else NULL_TRACER
         current = model
         model_map = ModelMap.identity(model)
         collected: List[PassStats] = []
         cnf_config: Optional[CnfSimplifyConfig] = None
         for pipeline_pass in self.passes:
-            result = pipeline_pass.apply(current)
+            with tracer.span("pass:%s" % pipeline_pass.name):
+                result = pipeline_pass.apply(current)
             collected.append(result.stats)
+            _log.debug("pass %s: %d -> %d ands", pipeline_pass.name,
+                       current.aig.num_ands, result.model.aig.num_ands)
             model_map = model_map.compose(result.model_map)
             current = result.model
             if isinstance(pipeline_pass, CnfEliminationPass):

@@ -1,0 +1,143 @@
+"""Event wire format: schema stability, validation, pickling.
+
+The JSONL event stream is a committed/CI-checked artefact format, so its
+shape is pinned here key by key: a field added or renamed without bumping
+``SCHEMA_VERSION`` must fail this module, not a downstream consumer.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.events import (
+    BEGIN,
+    COUNTER_FIELDS,
+    END,
+    POINT,
+    SCHEMA_VERSION,
+    SchemaError,
+    TraceEvent,
+    validate_event,
+)
+
+
+def _begin(seq=0, name="run", span_id=1, parent=None, attrs=None):
+    return TraceEvent(kind=BEGIN, seq=seq, name=name, span_id=span_id,
+                      parent_id=parent, attrs=attrs or {})
+
+
+def _end(seq=1, name="run", span_id=1, parent=None, counters=None, wall=None):
+    return TraceEvent(kind=END, seq=seq, name=name, span_id=span_id,
+                      parent_id=parent, counters=counters or {}, wall=wall)
+
+
+class TestSchemaStability:
+    def test_schema_version_is_one(self):
+        # Bump deliberately, alongside a validator + report update.
+        assert SCHEMA_VERSION == 1
+
+    def test_counter_fields_are_pinned(self):
+        assert COUNTER_FIELDS == ("sat_calls", "clauses_added", "conflicts",
+                                  "propagations")
+
+    def test_begin_wire_keys(self):
+        data = _begin(attrs={"engine": "itpseq"}).as_dict()
+        assert sorted(data) == ["attrs", "id", "kind", "name", "parent",
+                                "seq", "v"]
+        assert data["v"] == SCHEMA_VERSION
+        assert data["kind"] == BEGIN
+
+    def test_end_wire_keys_without_wall(self):
+        data = _end(counters={"conflicts": 3}).as_dict()
+        assert sorted(data) == ["counters", "id", "kind", "name", "parent",
+                                "seq", "v"]
+
+    def test_end_wire_keys_with_wall(self):
+        data = _end(wall=0.25).as_dict()
+        assert "wall" in data
+
+    def test_point_wire_keys(self):
+        data = TraceEvent(kind=POINT, seq=2, name="sat_call",
+                          parent_id=1, attrs={"conflicts": 9}).as_dict()
+        assert sorted(data) == ["attrs", "kind", "name", "parent", "seq", "v"]
+
+    def test_deterministic_dict_strips_wall(self):
+        data = _end(wall=1.5).deterministic_dict()
+        assert "wall" not in data
+        validate_event(data)  # still a valid event without it
+
+    def test_json_serialisation_is_canonical(self):
+        event = _begin(attrs={"b": 1, "a": 2})
+        line = json.dumps(event.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        assert line.index('"a"') < line.index('"b"')
+        assert " " not in line
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("event", [
+        _begin(attrs={"engine": "pdr", "model": "ring04"}),
+        _end(counters={"sat_calls": 2, "clauses_added": 17}, wall=0.01),
+        TraceEvent(kind=POINT, seq=5, name="verdict", parent_id=None,
+                   attrs={"verdict": "pass", "k_fp": 4}),
+    ])
+    def test_dict_round_trip(self, event):
+        assert TraceEvent.from_dict(event.as_dict()) == event
+
+    def test_wall_survives_dict_round_trip(self):
+        event = _end(wall=0.125)
+        assert TraceEvent.from_dict(event.as_dict()).wall == 0.125
+
+    @pytest.mark.parametrize("event", [
+        _begin(), _end(counters={"conflicts": 1}),
+        TraceEvent(kind=POINT, seq=3, name="refine", attrs={"latches": 2}),
+    ])
+    def test_pickle_round_trip(self, event):
+        assert pickle.loads(pickle.dumps(event)) == event
+
+
+class TestValidation:
+    def test_valid_events_pass(self):
+        for event in (_begin(), _end(), TraceEvent(kind=POINT, seq=1,
+                                                   name="p", attrs={})):
+            validate_event(event.as_dict())
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda d: d.update(v=99), "version"),
+        (lambda d: d.update(kind="bogus"), "kind"),
+        (lambda d: d.pop("seq"), "missing"),
+        (lambda d: d.update(extra=1), "unknown"),
+        (lambda d: d.update(seq=-1), "seq"),
+        (lambda d: d.update(name=""), "name"),
+        (lambda d: d.update(parent="x"), "parent"),
+        (lambda d: d.update(id=0), "id"),
+        (lambda d: d.update(attrs={"x": [1]}), "attr"),
+    ])
+    def test_malformed_begin_rejected(self, mutate, match):
+        data = _begin(attrs={"k": 1}).as_dict()
+        mutate(data)
+        with pytest.raises(SchemaError, match=match):
+            validate_event(data)
+
+    def test_bool_counter_rejected(self):
+        data = _end().as_dict()
+        data["counters"] = {"conflicts": True}
+        with pytest.raises(SchemaError):
+            validate_event(data)
+
+    def test_non_string_counter_key_rejected(self):
+        data = _end().as_dict()
+        data["counters"] = {1: 2}
+        with pytest.raises(SchemaError):
+            validate_event(data)
+
+    def test_wall_only_allowed_on_end(self):
+        data = _begin().as_dict()
+        data["wall"] = 0.1
+        with pytest.raises(SchemaError):
+            validate_event(data)
+
+    def test_from_dict_validates(self):
+        with pytest.raises(SchemaError):
+            TraceEvent.from_dict({"v": SCHEMA_VERSION, "kind": "begin"})

@@ -1,0 +1,144 @@
+"""The trace report: span reconstruction, attribution, rendering."""
+
+from repro.obs.report import (
+    attribution,
+    bound_timeline,
+    build_spans,
+    hardest_sat_calls,
+    main,
+    phase_breakdown,
+    render_report,
+    split_segments,
+    totals,
+)
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import Tracer
+
+
+def _scripted_events():
+    """One run -> two bounds, phases with known counter deltas."""
+    counters = {"sat_calls": 0, "clauses_added": 0, "conflicts": 0,
+                "propagations": 0}
+
+    def spend(sat_calls=0, clauses=0, conflicts=0, props=0):
+        counters["sat_calls"] += sat_calls
+        counters["clauses_added"] += clauses
+        counters["conflicts"] += conflicts
+        counters["propagations"] += props
+
+    sink = ListSink()
+    tracer = Tracer(sink, wall_clock=False)
+    tracer.bind_counters(lambda: counters)
+    with tracer.span("run", engine="itpseq", model="toy"):
+        for bound in (1, 2):
+            with tracer.span("bound", bound=bound):
+                with tracer.span("cex_search"):
+                    spend(sat_calls=1, clauses=10 * bound, conflicts=bound,
+                          props=5)
+                    tracer.point("sat_call", conflicts=bound,
+                                 propagations=5, clauses_added=10 * bound)
+                with tracer.span("refutation"):
+                    spend(sat_calls=1, clauses=20, conflicts=2 * bound,
+                          props=7)
+                    tracer.point("sat_call", conflicts=2 * bound,
+                                 propagations=7, clauses_added=20)
+        tracer.point("verdict", verdict="pass", k_fp=2, j_fp=2)
+    return [e.as_dict() for e in sink.events]
+
+
+def test_build_spans_and_totals():
+    spans, points = build_spans(_scripted_events())
+    assert len(spans) == 7  # run + 2 bounds + 4 phases
+    assert len(points) == 5
+    assert totals(spans) == {"sat_calls": 4, "clauses_added": 70,
+                             "conflicts": 9, "propagations": 24}
+
+
+def test_phase_breakdown_self_deltas():
+    spans, _ = build_spans(_scripted_events())
+    rows = {row["phase"]: row for row in phase_breakdown(spans)}
+    assert set(rows) == {"cex_search", "refutation"}
+    assert rows["cex_search"]["clauses_added"] == 30  # 10 + 20
+    assert rows["refutation"]["clauses_added"] == 40  # 20 + 20
+    assert rows["cex_search"]["spans"] == 2
+
+
+def test_attribution_is_total_for_fully_spanned_trace():
+    spans, _ = build_spans(_scripted_events())
+    attributed, total, fraction = attribution(spans)
+    assert (attributed, total) == (70, 70)
+    assert fraction == 1.0
+
+
+def test_attribution_counts_unspanned_effort():
+    counters = {"clauses_added": 0}
+    sink = ListSink()
+    tracer = Tracer(sink, wall_clock=False)
+    tracer.bind_counters(lambda: counters)
+    with tracer.span("run"):
+        counters["clauses_added"] += 60       # directly under run: unnamed
+        with tracer.span("refutation"):
+            counters["clauses_added"] += 40
+    spans, _ = build_spans([e.as_dict() for e in sink.events])
+    attributed, total, fraction = attribution(spans)
+    assert (attributed, total) == (40, 100)
+    assert fraction == 0.4
+
+
+def test_bound_timeline_inherits_run_context():
+    spans, _ = build_spans(_scripted_events())
+    timeline = bound_timeline(spans)
+    assert [row["bound"] for row in timeline] == [1, 2]
+    assert all(row["engine"] == "itpseq" for row in timeline)
+    assert all(row["model"] == "toy" for row in timeline)
+    assert timeline[1]["clauses_added"] == 40  # bound 2: 20 + 20
+
+
+def test_hardest_sat_calls_ranked_and_located():
+    spans, points = build_spans(_scripted_events())
+    calls = hardest_sat_calls(spans, points, top=3)
+    assert len(calls) == 3
+    assert calls[0]["conflicts"] == 4  # refutation at bound 2
+    assert calls[0]["phase"] == "refutation"
+    assert calls[0]["bound"] == 2
+
+
+def test_split_segments_on_seq_reset():
+    events = _scripted_events()
+    merged = events + events  # two workers' streams concatenated
+    segments = split_segments(merged)
+    assert len(segments) == 2
+    assert [len(s) for s in segments] == [len(events)] * 2
+    spans, _ = build_spans(merged)
+    assert len(spans) == 14  # no span-id collision across segments
+
+
+def test_render_report_sections():
+    text = render_report(_scripted_events())
+    assert "Per-phase breakdown" in text
+    assert "Per-bound timeline" in text
+    assert "hardest SAT calls" in text
+    assert "phase attribution: 70/70 clauses_added (100.0%)" in text
+
+
+def test_render_report_truncates_timeline():
+    text = render_report(_scripted_events(), max_bounds=1)
+    assert "1 more bound rows" in text
+
+
+def test_cli_reports_and_validates(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "t.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in _scripted_events()))
+    assert main([str(path), "--validate"]) == 0
+    assert "events valid" in capsys.readouterr().out
+    assert main([str(path)]) == 0
+    assert "Per-phase breakdown" in capsys.readouterr().out
+
+
+def test_cli_validate_rejects_bad_stream(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1, "kind": "begin"}\n')
+    assert main([str(path), "--validate"]) == 1
+    assert "missing" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""JSONL sinks and cross-process segment merging."""
+
+import json
+import os
+
+from repro.obs.events import TraceEvent, validate_event
+from repro.obs.sinks import (
+    JsonlSink,
+    merge_segments,
+    read_jsonl,
+    segment_path,
+    worker_segments,
+)
+from repro.obs.tracer import Tracer
+
+
+def test_jsonl_sink_writes_sorted_compact_lines(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    tracer = Tracer(JsonlSink(path), wall_clock=False)
+    with tracer.span("run", engine="x"):
+        tracer.point("p", b=1, a=2)
+    tracer.close()
+    lines = open(path).read().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        assert line == json.dumps(json.loads(line), sort_keys=True,
+                                  separators=(",", ":"))
+        validate_event(json.loads(line))
+
+
+def test_jsonl_sink_creates_parent_directories(tmp_path):
+    path = str(tmp_path / "deep" / "dir" / "t.jsonl")
+    sink = JsonlSink(path)
+    sink.emit(TraceEvent(kind="point", seq=0, name="p"))
+    sink.close()
+    assert os.path.exists(path)
+
+
+def test_segment_paths():
+    assert segment_path("/tmp/ev.jsonl", "pdr") == "/tmp/ev.jsonl.pdr.part"
+    assert worker_segments("/x.jsonl", ["a", "b"]) == [
+        "/x.jsonl.a.part", "/x.jsonl.b.part"]
+
+
+def test_merge_keeps_given_order_and_removes_parts(tmp_path):
+    base = str(tmp_path / "ev.jsonl")
+    for label, seqs in (("b", [0, 1]), ("a", [0])):
+        with open(segment_path(base, label), "w") as fh:
+            for seq in seqs:
+                fh.write(json.dumps({"label": label, "seq": seq}) + "\n")
+    count = merge_segments(worker_segments(base, ["a", "b"]), base,
+                           remove=True)
+    assert count == 3
+    labels = [d["label"] for d in read_jsonl(base)]
+    assert labels == ["a", "b", "b"]  # argument order, not mtime order
+    assert not os.path.exists(segment_path(base, "a"))
+    assert not os.path.exists(segment_path(base, "b"))
+
+
+def test_merge_skips_missing_segments(tmp_path):
+    base = str(tmp_path / "ev.jsonl")
+    with open(segment_path(base, "real"), "w") as fh:
+        fh.write(json.dumps({"x": 1}) + "\n")
+    count = merge_segments(worker_segments(base, ["ghost", "real"]), base)
+    assert count == 1
+
+
+def test_merge_drops_torn_trailing_line(tmp_path):
+    # A terminated race loser can leave a final line without its newline;
+    # the merge must keep the complete-line prefix and drop the torn tail.
+    base = str(tmp_path / "ev.jsonl")
+    with open(segment_path(base, "loser"), "w") as fh:
+        fh.write(json.dumps({"ok": 1}) + "\n")
+        fh.write('{"torn": tru')  # no newline: interrupted mid-write
+    count = merge_segments([segment_path(base, "loser")], base)
+    assert count == 1
+    assert read_jsonl(base) == [{"ok": 1}]
+
+
+def test_read_jsonl_tolerates_garbage_lines(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"good": 1}\nnot json\n{"also": 2}\n')
+    assert read_jsonl(path) == [{"good": 1}, {"also": 2}]

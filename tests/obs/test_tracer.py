@@ -1,0 +1,129 @@
+"""Tracer semantics: nesting, counter deltas, the null object, wall clock."""
+
+import pytest
+
+from repro.obs.events import BEGIN, END, POINT
+from repro.obs.sinks import ListSink
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+def _tracer(**kwargs):
+    sink = ListSink()
+    return Tracer(sink, **kwargs), sink
+
+
+class TestSpans:
+    def test_nesting_and_parents(self):
+        tracer, sink = _tracer()
+        with tracer.span("run", engine="itpseq"):
+            with tracer.span("bound", bound=1):
+                tracer.point("sat_call", conflicts=0)
+        kinds = [e.kind for e in sink.events]
+        assert kinds == [BEGIN, BEGIN, POINT, END, END]
+        run_begin, bound_begin, point, bound_end, run_end = sink.events
+        assert run_begin.parent_id is None
+        assert bound_begin.parent_id == run_begin.span_id
+        assert point.parent_id == bound_begin.span_id
+        assert bound_end.span_id == bound_begin.span_id
+        assert run_end.span_id == run_begin.span_id
+
+    def test_seq_strictly_increases(self):
+        tracer, sink = _tracer()
+        with tracer.span("a"):
+            tracer.point("p")
+        with tracer.span("b"):
+            pass
+        seqs = [e.seq for e in sink.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_span_ids_are_unique(self):
+        tracer, sink = _tracer()
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        ids = [e.span_id for e in sink.events if e.kind == BEGIN]
+        assert len(set(ids)) == 3
+
+    def test_attrs_only_on_begin(self):
+        tracer, sink = _tracer()
+        with tracer.span("bound", bound=7):
+            pass
+        begin, end = sink.events
+        assert begin.attrs == {"bound": 7}
+        assert end.attrs == {}
+
+    def test_exception_still_closes_span(self):
+        tracer, sink = _tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                raise RuntimeError("boom")
+        assert [e.kind for e in sink.events] == [BEGIN, END]
+
+
+class TestCounterDeltas:
+    def test_end_carries_deltas_not_totals(self):
+        counters = {"conflicts": 100, "clauses_added": 5}
+        tracer, sink = _tracer()
+        tracer.bind_counters(lambda: counters)
+        with tracer.span("outer"):
+            counters["conflicts"] += 7
+            with tracer.span("inner"):
+                counters["clauses_added"] += 3
+        inner_end, outer_end = [e for e in sink.events if e.kind == END]
+        assert inner_end.counters == {"conflicts": 0, "clauses_added": 3}
+        assert outer_end.counters == {"conflicts": 7, "clauses_added": 3}
+
+    def test_rebinding_survives_source_replacement(self):
+        # Engines replace their stats object at run() start; the tracer
+        # samples through a closure, so the live object is always read.
+        class Holder:
+            def __init__(self):
+                self.stats = {"conflicts": 0}
+
+        holder = Holder()
+        tracer, sink = _tracer()
+        tracer.bind_counters(lambda: holder.stats)
+        holder.stats = {"conflicts": 10}  # replaced, like run() does
+        with tracer.span("s"):
+            holder.stats["conflicts"] += 5
+        (end,) = [e for e in sink.events if e.kind == END]
+        assert end.counters == {"conflicts": 5}
+
+    def test_unbound_tracer_closes_with_empty_counters(self):
+        tracer, sink = _tracer()
+        with tracer.span("s"):
+            pass
+        assert sink.events[-1].counters == {}
+
+
+class TestWallClock:
+    def test_wall_present_by_default(self):
+        tracer, sink = _tracer()
+        with tracer.span("s"):
+            pass
+        assert sink.events[-1].wall is not None
+        assert sink.events[-1].wall >= 0.0
+
+    def test_wall_clock_false_omits_wall(self):
+        tracer, sink = _tracer(wall_clock=False)
+        with tracer.span("s"):
+            pass
+        assert sink.events[-1].wall is None
+        assert "wall" not in sink.events[-1].as_dict()
+
+
+class TestNullTracer:
+    def test_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(ListSink()).enabled is True
+
+    def test_all_operations_are_noops(self):
+        tracer = NullTracer()
+        tracer.bind_counters(lambda: {"x": 1})
+        with tracer.span("run", engine="e"):
+            tracer.point("p", k=1)
+        tracer.close()  # nothing to assert: must simply not raise
+
+    def test_span_context_is_shared_and_allocation_free(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b", attr=1)

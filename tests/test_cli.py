@@ -180,9 +180,83 @@ def test_no_preprocess_flag_disables_reduction(safe_aag, capsys):
     assert main([safe_aag, "--engine", "pdr", "--stats",
                  "--no-preprocess"]) == 0
     raw = capsys.readouterr().out
-    assert "pre_ands_removed: 0" in raw
+    # With preprocessing off every pre_*/fraig_* counter is structurally
+    # zero, so --stats suppresses the whole [preprocess] group.
+    assert "[preprocess]" not in raw
+    assert "pre_ands_removed:" not in raw
     # Same verdict either way; the counter wrap logic shrinks under
     # preprocessing, so the stats block reports a nonzero reduction.
+    assert "[preprocess]" in preprocessed
     assert "pre_ands_removed: 0" not in preprocessed
     assert "pre_ands_removed:" in preprocessed
     assert "pass" in preprocessed and "pass" in raw
+
+
+def test_stats_groups_match_the_engine(safe_aag, capsys):
+    # The interpolation engines report lifecycle counters, never PDR's.
+    assert main([safe_aag, "--engine", "itpseq", "--stats"]) == 0
+    itpseq = capsys.readouterr().out
+    assert "[solver]" in itpseq and "[lifecycle]" in itpseq
+    assert "[pdr]" not in itpseq and "blocked_cubes:" not in itpseq
+    assert "[cba]" not in itpseq and "refinements:" not in itpseq
+    # PDR reports frame counters, never the interpolant lifecycle.
+    assert main([safe_aag, "--engine", "pdr", "--stats"]) == 0
+    pdr = capsys.readouterr().out
+    assert "[pdr]" in pdr and "blocked_cubes:" in pdr
+    assert "[lifecycle]" not in pdr and "itp_extractions:" not in pdr
+    # The CBA engine adds its abstraction group on top of the lifecycle.
+    assert main([safe_aag, "--engine", "itpseqcba", "--stats"]) == 0
+    cba = capsys.readouterr().out
+    assert "[cba]" in cba and "refinements:" in cba and "[lifecycle]" in cba
+
+
+def test_events_flag_writes_valid_trace(safe_aag, tmp_path, capsys):
+    from repro.obs.events import validate_event
+    from repro.obs.sinks import read_jsonl
+
+    events = str(tmp_path / "trace.jsonl")
+    assert main([safe_aag, "--engine", "itpseq", "--events", events]) == 0
+    stream = read_jsonl(events)
+    assert stream, "no events written"
+    for event in stream:
+        validate_event(event)
+    names = {e["name"] for e in stream}
+    assert {"run", "preprocess", "bound", "verdict"} <= names
+
+
+def test_events_report_runs_on_cli_trace(safe_aag, tmp_path, capsys):
+    from repro.obs.report import main as report_main
+
+    events = str(tmp_path / "trace.jsonl")
+    assert main([safe_aag, "--engine", "pdr", "--events", events]) == 0
+    capsys.readouterr()
+    assert report_main([events, "--validate"]) == 0
+    assert report_main([events]) == 0
+    out = capsys.readouterr().out
+    assert "Per-phase breakdown" in out
+    assert "strengthen" in out
+
+
+def test_trace_and_events_are_distinct_flags(unsafe_aag, tmp_path, capsys):
+    # --trace prints the counterexample inputs; --events records spans.
+    events = str(tmp_path / "trace.jsonl")
+    assert main([unsafe_aag, "--engine", "pdr", "--trace",
+                 "--events", events]) == 1
+    out = capsys.readouterr().out
+    assert "inputs@0:" in out          # the counterexample trace, on stdout
+    assert "inputs@0" not in open(events).read()  # not in the event stream
+
+
+def test_verbose_flag_logs_to_stderr(safe_aag, capsys):
+    assert main([safe_aag, "--engine", "itpseq"]) == 0
+    quiet = capsys.readouterr()
+    assert "run starting" not in quiet.err
+    assert main([safe_aag, "--engine", "itpseq", "-v"]) == 0
+    info = capsys.readouterr()
+    assert "run starting" in info.err
+    assert "INFO" in info.err
+    assert main([safe_aag, "--engine", "itpseq", "-vv"]) == 0
+    debug = capsys.readouterr()
+    assert "DEBUG" in debug.err
+    # Verbosity is stderr-only: stdout stays byte-identical.
+    assert info.out == quiet.out
