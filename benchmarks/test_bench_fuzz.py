@@ -1,0 +1,43 @@
+"""Archive the fuzz corpus: seed → generator parameters → planted verdict.
+
+The table is *deterministic* — it is a pure function of the seed range
+(string-seeded ``random.Random`` draws, no engine runs, no wall clock) —
+so it lives in ``benchmarks/results/`` under the CI staleness gate: any
+change to the generator's parameter derivation or circuit construction
+shows up as a diff against the committed corpus, making silent
+corpus-shift (which would quietly re-aim the nightly fuzz lane) a CI
+failure instead.
+"""
+
+import pytest
+
+from repro.fuzz import generate
+
+pytestmark = pytest.mark.benchmark(group="fuzz-corpus")
+
+CORPUS_SEEDS = range(50)
+
+
+def _corpus_rows():
+    rows = []
+    for seed in CORPUS_SEEDS:
+        model, params = generate(seed)
+        sizes = model.stats()
+        depth = params.expected_depth if params.expected == "fail" else "-"
+        rows.append([seed, params.expected, depth, sizes["inputs"],
+                     sizes["latches"], sizes["ands"],
+                     len(model.aig.constraints), params.describe()])
+    return rows
+
+
+def test_fuzz_corpus(benchmark, save_artifact):
+    rows = benchmark.pedantic(_corpus_rows, rounds=1, iterations=1)
+    from repro.harness import format_table
+    table = format_table(
+        ["seed", "expected", "depth", "PI", "FF", "AND", "constr", "params"],
+        rows,
+        title="fuzz corpus: first 50 seeds of the nightly differential lane")
+    save_artifact("fuzz_corpus.txt", table)
+    # Sanity: the committed corpus must keep both verdict classes.
+    expected = {row[1] for row in rows}
+    assert expected == {"pass", "fail"}

@@ -131,6 +131,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-instances", action="store_true",
                         help="list the registry benchmark suite (with "
                              "circuit sizes) and exit")
+    parser.add_argument("--seed", type=int, action="append", default=None,
+                        metavar="N",
+                        help="with --list-instances: also list the "
+                             "seed-registered fuzz instance fuzz_sN with "
+                             "its generator parameters (repeatable)")
     return parser
 
 
@@ -173,10 +178,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = next(iter((engine_cls.__doc__ or "").strip().splitlines()), "")
             print(f"{name:12s} {doc}")
         return 0
+    if args.seed is not None and not args.list_instances:
+        parser.print_usage(sys.stderr)
+        print("error: --seed only applies to --list-instances",
+              file=sys.stderr)
+        return 3
     if args.list_instances:
-        from .circuits import full_suite  # deferred: only this mode needs it
+        # Deferred: only this mode needs the registry.
+        from .circuits import full_suite, fuzz_instance
 
-        for instance in full_suite():
+        instances = list(full_suite())
+        if args.seed is not None:
+            listed = {inst.name for inst in instances}
+            for seed in args.seed:
+                if seed < 0:
+                    print(f"error: --seed must be non-negative (got {seed})",
+                          file=sys.stderr)
+                    return 3
+                instance = fuzz_instance(seed)
+                if instance.name not in listed:
+                    instances.append(instance)
+        for instance in instances:
             model = instance.build()
             sizes = model.stats()
             depth = (f" depth={instance.expected_depth}"
@@ -185,6 +207,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{instance.expected:4s}{depth:9s} "
                   f"PI={sizes['inputs']:<3d} FF={sizes['latches']:<3d} "
                   f"AND={sizes['ands']:<4d} {instance.description}")
+            if instance.generator_params is not None:
+                print(f"{'':16s} params: {instance.generator_params}")
         return 0
     if args.file is None:
         parser.print_usage(sys.stderr)

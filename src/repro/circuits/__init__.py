@@ -39,9 +39,12 @@ __all__ = [
 ]
 
 from .suite import (
+    FUZZ_REGRESSIONS,
     SuiteInstance,
     academic_suite,
     full_suite,
+    fuzz_instance,
+    fuzz_suite,
     get_instance,
     industrial_suite,
     quick_suite,
@@ -49,9 +52,12 @@ from .suite import (
 )
 
 __all__ += [
+    "FUZZ_REGRESSIONS",
     "SuiteInstance",
     "academic_suite",
     "full_suite",
+    "fuzz_instance",
+    "fuzz_suite",
     "get_instance",
     "industrial_suite",
     "quick_suite",

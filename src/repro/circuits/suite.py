@@ -20,13 +20,14 @@ engine answers, and, when cheap to compute, the exact failure depth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..aig.model import Model
 from . import generators as gen
 
 __all__ = ["SuiteInstance", "academic_suite", "industrial_suite",
-           "redundant_suite", "full_suite", "quick_suite", "get_instance"]
+           "redundant_suite", "full_suite", "quick_suite", "get_instance",
+           "FUZZ_REGRESSIONS", "fuzz_instance", "fuzz_suite"]
 
 
 @dataclass
@@ -36,12 +37,15 @@ class SuiteInstance:
     name: str
     factory: Callable[[], Model]
     expected: str                    # "pass" or "fail"
-    category: str                    # "academic" or "industrial"
+    category: str                    # "academic", "industrial", … or "fuzz"
     expected_depth: Optional[int] = None   # failure depth for "fail" instances
     description: str = ""
     #: Skip the BDD baseline (Table I then reports "ovf", as the paper does
     #: for its largest industrial rows where BDD reachability blows up).
     skip_bdd: bool = False
+    #: Generator-parameter summary for synthesized instances (fuzz seeds);
+    #: ``--list-instances`` prints it alongside the circuit sizes.
+    generator_params: Optional[str] = None
 
     def build(self) -> Model:
         model = self.factory()
@@ -209,9 +213,47 @@ def redundant_suite() -> List[SuiteInstance]:
     ]
 
 
+#: Fuzz-found regressions graduated into the suite.  When the fuzz loop
+#: (``python -m repro.fuzz``) finds a disagreement, fix the engine bug and
+#: add the seed here: the instance then runs with every suite consumer —
+#: including the committed benchmark artefacts, which must be regenerated
+#: in the same change (the CI staleness gate enforces that).
+FUZZ_REGRESSIONS: Tuple[int, ...] = ()
+
+
+def fuzz_instance(seed: int) -> SuiteInstance:
+    """Build the suite row for one fuzz seed (``fuzz_s<seed>``).
+
+    The row carries the generator's planted ground truth — verdict and
+    exact failure depth — so harness verification works exactly as for the
+    hand-written families.
+    """
+    # Deferred import: circuits is a low-level package and the fuzz
+    # machinery itself imports models/builders from it.
+    from ..fuzz.generate import FuzzParams, build_model, fuzz_model_name
+
+    params = FuzzParams.from_seed(seed)
+    return SuiteInstance(
+        name=fuzz_model_name(seed),
+        factory=lambda: build_model(params),
+        expected=params.expected,
+        category="fuzz",
+        expected_depth=params.expected_depth,
+        description="seeded random AIG with a planted modular-counter oracle",
+        generator_params=params.describe())
+
+
+def fuzz_suite(seeds: Optional[Sequence[int]] = None) -> List[SuiteInstance]:
+    """Suite rows for fuzz seeds (default: the graduated regressions)."""
+    return [fuzz_instance(seed)
+            for seed in (FUZZ_REGRESSIONS if seeds is None else seeds)]
+
+
 def full_suite() -> List[SuiteInstance]:
-    """Academic + industrial + redundant blocks (the Fig. 6 population)."""
-    return academic_suite() + industrial_suite() + redundant_suite()
+    """Academic + industrial + redundant blocks (the Fig. 6 population),
+    plus any graduated fuzz regressions."""
+    return (academic_suite() + industrial_suite() + redundant_suite()
+            + fuzz_suite())
 
 
 def quick_suite() -> List[SuiteInstance]:
@@ -222,8 +264,19 @@ def quick_suite() -> List[SuiteInstance]:
 
 
 def get_instance(name: str) -> SuiteInstance:
-    """Look up a suite instance by name."""
+    """Look up a suite instance by name.
+
+    ``fuzz_s<seed>`` names resolve for *any* seed, not only the graduated
+    regressions: every fuzz find is addressable by name the moment it is
+    reported, so workers rebuilding models from registry names (the
+    parallel harness contract) handle fuzz instances like any other row.
+    """
     for instance in full_suite():
         if instance.name == name:
             return instance
+    from ..fuzz.generate import parse_fuzz_name
+
+    seed = parse_fuzz_name(name)
+    if seed is not None:
+        return fuzz_instance(seed)
     raise KeyError(f"unknown suite instance {name!r}")

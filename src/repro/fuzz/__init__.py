@@ -1,0 +1,49 @@
+"""Randomized differential testing of the six engine front-ends.
+
+The suite (:mod:`repro.circuits`) is hand-written; every correctness claim
+it backs — six-engine verdict agreement, preprocessing on/off identity,
+trace lift-back — is only exercised on circuits someone thought to write.
+This package turns those claims into an always-on adversary:
+
+* :mod:`repro.fuzz.generate` — a seeded random sequential-AIG generator.
+  Every seed deterministically yields a model with a *planted* ground
+  truth: a modular counter whose bad target is reachable at one exact
+  depth (FAIL) or structurally unreachable (PASS), entangled with random
+  latch soup through a tautological guard so the property cone is messy
+  but the verdict is provable by construction.
+* :mod:`repro.fuzz.mutate` — equivalence-preserving mutators.  Each one
+  returns a restructured :class:`~repro.aig.model.Model` plus the
+  identity contract (:class:`~repro.fuzz.mutate.Mutation`): the verdict
+  and failure depth must match the base model's, and FAIL traces must
+  replay on the base model through the recorded variable maps.
+* :mod:`repro.fuzz.loop` — the differential oracle: for every seed it
+  runs all six engines (the five UMC engines plus BMC) on the base model
+  and every mutant, with preprocessing on and off, under deterministic
+  clause/propagation budgets, and reports any disagreement.
+* :mod:`repro.fuzz.shrink` — reduces a disagreement witness by dropping
+  latches and redirecting AND gates (through
+  :func:`repro.preprocess.rebuild.rebuild_model`) while the disagreement
+  still reproduces, then the loop emits a self-contained repro bundle.
+
+Run it as ``python -m repro.fuzz --seed 0 --iterations 50 --jobs 0``.
+"""
+
+from .generate import FuzzParams, build_model, fuzz_model_name, generate, parse_fuzz_name
+from .loop import FuzzConfig, FuzzReport, SeedReport, render_summary, run_fuzz
+from .mutate import MUTATORS, Mutation, apply_mutator
+
+__all__ = [
+    "FuzzParams",
+    "build_model",
+    "fuzz_model_name",
+    "generate",
+    "parse_fuzz_name",
+    "FuzzConfig",
+    "FuzzReport",
+    "SeedReport",
+    "render_summary",
+    "run_fuzz",
+    "MUTATORS",
+    "Mutation",
+    "apply_mutator",
+]

@@ -1,0 +1,282 @@
+"""Seeded random sequential-AIG generator with a planted ground truth.
+
+Differential fuzzing needs two things from a generator that are usually in
+tension: *structural diversity* (so the engines and the preprocessing
+passes see shapes nobody hand-wrote) and a *known verdict* (so a wrong
+answer is detectable without a reference checker).  The construction here
+gets both:
+
+* a ``w``-bit modular counter (the planted oracle) counts ``init, init+1,
+  …, m-1, 0, …``.  A FAIL seed picks the bad target ``(init + d) mod m``
+  for a chosen depth ``d`` — reachable at exactly frame ``d`` and no
+  earlier, because the first ``m`` counter values are pairwise distinct.
+  A PASS seed picks a target in ``[m, 2**w)``, a code the counter can
+  never hold;
+* random *latch soup* — input-driven latches with reconvergent random
+  next-state cones, planted stuck latches, dead latches outside the
+  property cone, a mix of zero and nonzero initial values — is entangled
+  into the property cone through a **tautological guard**: the same
+  random conjunction is built twice under different gate associations
+  (``f1 ≡ f2`` but structurally distinct, so structural hashing cannot
+  collapse them) and ``bad = planted AND (¬f1 OR f2)``.  The guard is
+  constantly true, so the verdict and failure depth are exactly the
+  planted ones, while COI/sweep/rewrite/fraig and the engines all get
+  real work;
+* an optional invariant constraint ``relief OR random-cone`` over a
+  dedicated fresh input used nowhere else: always satisfiable without
+  touching any other signal, so it restricts nothing the planted oracle
+  depends on — verdict and depth are preserved, but every engine's
+  constraint path is exercised.
+
+Everything is derived from ``random.Random`` seeded with strings embedding
+the seed — deterministic across runs, platforms and Python versions, which
+is what lets the committed ``benchmarks/results/fuzz_corpus.txt`` be
+byte-reproducible and lets a seed number serve as a complete repro.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..aig import FALSE, TRUE, Aig, AigBuilder, lit_is_const
+from ..aig.aig import lit_negate
+from ..aig.model import Model
+
+__all__ = [
+    "FuzzParams",
+    "generate",
+    "build_model",
+    "fuzz_model_name",
+    "parse_fuzz_name",
+    "random_cone",
+]
+
+#: Naming scheme connecting seeds to registry instances (see
+#: :func:`repro.circuits.suite.get_instance`): ``fuzz_s<seed>``.
+_NAME_PREFIX = "fuzz_s"
+
+#: Largest failure depth the generator plants.  The fuzz loop's BMC depth
+#: and ``max_bound`` must cover it (see ``FuzzConfig``).
+MAX_FAIL_DEPTH = 8
+
+
+def fuzz_model_name(seed: int) -> str:
+    """The registry/model name of a fuzz instance: ``fuzz_s<seed>``."""
+    return f"{_NAME_PREFIX}{seed}"
+
+
+def parse_fuzz_name(name: str) -> Optional[int]:
+    """Return the seed of a ``fuzz_s<seed>`` name, or ``None``."""
+    if not name.startswith(_NAME_PREFIX):
+        return None
+    suffix = name[len(_NAME_PREFIX):]
+    if not suffix.isdigit():
+        return None
+    return int(suffix)
+
+
+@dataclass(frozen=True)
+class FuzzParams:
+    """Generator parameters, derived deterministically from the seed.
+
+    The dataclass is the complete recipe: ``build_model(params)`` is a pure
+    function of it, and :meth:`describe` renders the one-line parameter
+    summary used by ``--list-instances --seed`` and the committed corpus.
+    """
+
+    seed: int
+    num_inputs: int
+    counter_width: int
+    counter_modulus: int
+    counter_init: int
+    target: int
+    expected: str                      # "pass" or "fail"
+    expected_depth: Optional[int]      # exact failure depth for FAIL seeds
+    soup_latches: int
+    nonzero_inits: int
+    stuck_latches: int
+    dead_latches: int
+    reconvergence: int
+    and_budget: int
+    with_constraint: bool
+
+    @staticmethod
+    def from_seed(seed: int) -> "FuzzParams":
+        """Derive the parameter vector for ``seed``.
+
+        String seeding keeps the draw independent of how the model-build
+        rng (seeded with a different tag) is later consumed.
+        """
+        if seed < 0:
+            raise ValueError(f"fuzz seed must be non-negative, got {seed}")
+        rng = random.Random(f"repro-fuzz-params:{seed}")
+        width = rng.choice((3, 4))
+        # m <= 2**w - 1 keeps at least one unreachable code for PASS seeds.
+        modulus = rng.randrange(3, 2 ** width)
+        counter_init = rng.randrange(modulus)
+        if rng.random() < 0.5:
+            # Mostly depths >= 1; occasionally a depth-0 seed (an initial
+            # state that is already bad) to fuzz the engines' frame-0 paths.
+            depth = rng.randrange(1, min(modulus, MAX_FAIL_DEPTH + 1))
+            if rng.random() < 0.1:
+                depth = 0
+            target = (counter_init + depth) % modulus
+            expected, expected_depth = "fail", depth
+        else:
+            target = rng.randrange(modulus, 2 ** width)
+            expected, expected_depth = "pass", None
+        soup = rng.randrange(2, 7)
+        return FuzzParams(
+            seed=seed,
+            num_inputs=rng.randrange(1, 5),
+            counter_width=width,
+            counter_modulus=modulus,
+            counter_init=counter_init,
+            target=target,
+            expected=expected,
+            expected_depth=expected_depth,
+            soup_latches=soup,
+            nonzero_inits=rng.randrange(0, soup + 1),
+            stuck_latches=rng.randrange(1, 3),
+            dead_latches=rng.randrange(0, 3),
+            reconvergence=rng.randrange(1, 4),
+            and_budget=rng.randrange(12, 41),
+            with_constraint=rng.random() < 0.4,
+        )
+
+    def describe(self) -> str:
+        """One-line generator-parameter summary (stable: committed artefacts)."""
+        depth = f"@{self.expected_depth}" if self.expected == "fail" else ""
+        return (f"cnt[w={self.counter_width} mod={self.counter_modulus} "
+                f"init={self.counter_init} target={self.target}] "
+                f"{self.expected}{depth} pi={self.num_inputs} "
+                f"soup={self.soup_latches}(nz={self.nonzero_inits}) "
+                f"stuck={self.stuck_latches} dead={self.dead_latches} "
+                f"reconv={self.reconvergence} ands~{self.and_budget} "
+                f"constraint={'y' if self.with_constraint else 'n'}")
+
+
+def _signed(rng: random.Random, lit: int) -> int:
+    """Complement a literal with probability 1/2."""
+    return lit ^ rng.randrange(2)
+
+
+def random_cone(aig: Aig, rng: random.Random, pool: List[int],
+                layers: int, budget: int) -> int:
+    """Build a random reconvergent AND cone over ``pool`` literals.
+
+    ``layers`` controls depth (each layer prefers the previous layer's
+    outputs as one operand), ``budget`` the total AND-gate attempts.
+    Reuse of earlier nodes as second operands is what makes the cones
+    reconvergent.  Returns a (possibly complemented) literal; never a
+    constant as long as ``pool`` has a non-constant literal.
+    """
+    if not pool:
+        return FALSE
+    avail = list(pool)
+    out = rng.choice(avail)
+    frontier = list(pool)
+    per_layer = max(1, budget // max(1, layers))
+    for _ in range(layers):
+        grown: List[int] = []
+        for _ in range(per_layer):
+            a = _signed(rng, rng.choice(frontier))
+            b = _signed(rng, rng.choice(avail))
+            gate = aig.add_and(a, b)
+            if lit_is_const(gate):
+                continue
+            avail.append(gate)
+            grown.append(gate)
+            out = gate
+        if grown:
+            frontier = grown
+    return _signed(rng, out)
+
+
+def _tautology_guard(aig: Aig, rng: random.Random, pool: List[int]) -> int:
+    """Return a literal that is constantly TRUE but not structurally so.
+
+    The same conjunction is built twice — once left-associated over the
+    drawn leaf order, once right-associated over a shuffle — giving two
+    structurally distinct nodes ``f1 ≡ f2``; ``¬f1 OR f2`` is then a
+    tautology.  (When structural hashing does collapse the two builds the
+    guard simplifies to the constant TRUE, which is merely less
+    interesting, never wrong.)
+    """
+    leaves = [_signed(rng, rng.choice(pool))
+              for _ in range(rng.randrange(3, 6))]
+    f1 = TRUE
+    for leaf in leaves:                      # left fold
+        f1 = aig.add_and(f1, leaf)
+    shuffled = list(leaves)
+    rng.shuffle(shuffled)
+    f2 = TRUE
+    for leaf in reversed(shuffled):          # right fold
+        f2 = aig.add_and(leaf, f2)
+    return aig.op_or(lit_negate(f1), f2)
+
+
+def build_model(params: FuzzParams) -> Model:
+    """Build the model for a parameter vector (a pure function of it)."""
+    rng = random.Random(f"repro-fuzz-model:{params.seed}")
+    b = AigBuilder(fuzz_model_name(params.seed))
+    aig = b.aig
+
+    inputs = [b.input_bit(f"pi{i}") for i in range(params.num_inputs)]
+    counter = b.register(params.counter_width, init=params.counter_init,
+                         name="cnt")
+    soup = []
+    for i in range(params.soup_latches):
+        init = 1 if i < params.nonzero_inits else 0
+        soup.append(b.register_bit(init=init, name=f"s{i}"))
+    stuck = []
+    for i in range(params.stuck_latches):
+        value = rng.randrange(2)
+        latch = b.register_bit(init=value, name=f"stuck{i}")
+        # Two stuck shapes the sweep pass must prove: a constant next-state
+        # function and a self-loop holding the initial value.
+        b.connect_bit(latch, (TRUE if value else FALSE)
+                      if rng.random() < 0.5 else latch)
+        stuck.append(latch)
+    dead = [b.register_bit(init=rng.randrange(2), name=f"dead{i}")
+            for i in range(params.dead_latches)]
+
+    # The planted oracle: count init, init+1, …, m-1, 0, … forever.
+    at_wrap = b.equals_const(counter.q, params.counter_modulus - 1)
+    b.connect(counter, b.mux_word(
+        at_wrap, b.constant_word(params.counter_width, 0),
+        b.increment(counter.q)))
+
+    pool = inputs + list(counter.q) + soup + stuck
+    per_latch = max(2, params.and_budget
+                    // max(1, params.soup_latches + params.dead_latches))
+    for latch in soup:
+        b.connect_bit(latch, random_cone(aig, rng, pool,
+                                         params.reconvergence, per_latch))
+    for latch in dead:
+        # Dead latches may observe anything (including each other); nothing
+        # in the property cone observes them — pure COI stress.
+        b.connect_bit(latch, random_cone(aig, rng, pool + dead,
+                                         params.reconvergence, per_latch))
+
+    planted = b.equals_const(counter.q, params.target)
+    guard = _tautology_guard(aig, rng, pool)
+    aig.add_bad(aig.add_and(planted, guard), "fuzz_bad")
+
+    if params.with_constraint:
+        # `relief` appears nowhere else, so the constraint is satisfiable
+        # at every frame independently of all other signals: it removes no
+        # behaviour the planted oracle depends on.
+        relief = b.input_bit("c_relief")
+        aig.add_constraint(aig.op_or(
+            relief, random_cone(aig, rng, pool, 1, 3)))
+
+    return Model(aig, property_index=0, name=fuzz_model_name(params.seed))
+
+
+def generate(seed: int) -> Tuple[Model, FuzzParams]:
+    """Generate the model and parameter vector for a seed."""
+    params = FuzzParams.from_seed(seed)
+    return build_model(params), params

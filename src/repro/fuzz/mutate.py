@@ -1,0 +1,381 @@
+"""Equivalence-preserving mutators: restructure a model, keep its verdict.
+
+Each mutator takes a base :class:`~repro.aig.model.Model` and a seed and
+returns a :class:`Mutation` — the mutated model together with the
+*identity contract* the differential oracle enforces:
+
+* the mutant's verdict equals the base model's;
+* on FAIL, the failure depth equals the base model's;
+* a FAIL trace found on the mutant replays on the base model after
+  translating variables through the recorded
+  :class:`~repro.preprocess.modelmap.ModelMap` (base var → mutant var;
+  mutant-only state is dropped by the lift, exactly as preprocessing
+  lift-back drops pass-created renamings).
+
+The mutators are chosen as *inverses* of what the preprocessing pipeline
+proves it can undo, so each one stresses a specific pass:
+
+``unflatten``
+    Re-associates AND chains under random leaf orders — the inverse of the
+    rewriter's sorted-chain flattening.
+``doubleneg``
+    Routes gate fanins through ``ite(r, c, c)``; the AIG expansion
+    ``¬(¬(r∧c) ∧ ¬(¬r∧c))`` double-negates the child behind redundant
+    structure (a pure double negation is invisible in an AIG, where
+    inverters live on edges).
+``deadgraft``
+    Grafts fresh latches and logic outside the property cone — COI stress.
+``dupgraft``
+    Duplicates a cone from the property's fanin under forced
+    re-association and guards the property with ``orig OR ¬dup`` (a
+    tautology, since ``dup ≡ orig``) — sweep/fraig stress.
+``retime``
+    Stretches each structurally stuck latch into a two-deep latch chain
+    with the same initial value; every observer reads the chain end, which
+    carries the identical (constant) value stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..aig import Aig, FALSE, TRUE
+from ..aig.aig import lit_from_var, lit_negate, lit_sign, lit_var
+from ..aig.model import Model
+from ..bmc.cex import Trace
+from ..preprocess.modelmap import ModelMap
+from ..preprocess.rebuild import rebuild_model
+from .generate import random_cone
+
+__all__ = ["Mutation", "MUTATORS", "apply_mutator"]
+
+#: The identity contract every mutator promises (enforced by the oracle).
+CONTRACT = ("verdict and failure depth equal the base model's; FAIL traces "
+            "replay on the base model through the variable maps")
+
+
+@dataclass
+class Mutation:
+    """A mutated model plus the expected-identity contract."""
+
+    name: str
+    model: Model
+    #: base input/latch variables → mutant variables (total on the base
+    #: side; mutant-only state has no preimage and is dropped on lift).
+    map: ModelMap
+    note: str = ""
+    contract: str = field(default=CONTRACT)
+
+    def lower_trace(self, trace: Trace, base: Model) -> Trace:
+        """Translate a mutant counterexample into base-model variables."""
+        return self.map.lift_trace(trace, base)
+
+
+# --------------------------------------------------------------------- #
+# Copy-with-hooks machinery
+# --------------------------------------------------------------------- #
+class _Copier:
+    """Recursive model copy with an optional per-AND-gate rebuild hook.
+
+    The hook is called once per source AND variable before the default
+    copy; it may return a destination literal (built through
+    :meth:`copy`, which recurses with the same hook) or ``None`` to take
+    the default ``add_and`` path.  Generated fuzz circuits are shallow, so
+    plain recursion is safe here — the engine-grade iterative walk lives
+    in :class:`repro.aig.ops.LiteralMapper`.
+    """
+
+    def __init__(self, src: Aig, name: str,
+                 hook: Optional[Callable[["_Copier", int], Optional[int]]] = None):
+        self.src = src
+        self.dst = Aig(name)
+        self.hook = hook
+        self.var2lit: Dict[int, int] = {0: FALSE}
+        self.input_map: Dict[int, int] = {}
+        self.latch_map: Dict[int, int] = {}
+        #: destination leaf literals (inputs + latches), for hooks that
+        #: need an arbitrary already-available signal.
+        self.leaf_lits: List[int] = []
+
+    def clone_interface(self) -> None:
+        for var in self.src.input_vars():
+            lit = self.dst.add_input(self.src.input_name(var))
+            self.var2lit[var] = lit
+            self.input_map[var] = lit_var(lit)
+            self.leaf_lits.append(lit)
+        for latch in self.src.latches:
+            lit = self.dst.add_latch(init=latch.init, name=latch.name)
+            self.var2lit[latch.var] = lit
+            self.latch_map[latch.var] = lit_var(lit)
+            self.leaf_lits.append(lit)
+
+    def copy(self, lit: int) -> int:
+        var = lit_var(lit)
+        out = self.var2lit.get(var)
+        if out is None:
+            gate = self.src.and_gate(var)
+            out = self.hook(self, var) if self.hook is not None else None
+            if out is None:
+                out = self.dst.add_and(self.copy(gate.left),
+                                       self.copy(gate.right))
+            self.var2lit[var] = out
+        return lit_negate(out) if lit_sign(lit) else out
+
+    def finish(self, interface: Model,
+               bad_wrap: Optional[Callable[["_Copier", int], int]] = None) -> Model:
+        """Copy latch nexts, property and constraints; package the model."""
+        src = self.src
+        for latch in src.latches:
+            self.dst.set_latch_next(self.var2lit[latch.var],
+                                    self.copy(latch.next))
+        bad = self.copy(src.bad[interface.property_index])
+        if bad_wrap is not None:
+            bad = bad_wrap(self, bad)
+        self.dst.add_bad(bad, src.bad_name(interface.property_index))
+        for constraint in src.constraints:
+            self.dst.add_constraint(self.copy(constraint))
+        return Model(self.dst, property_index=0, name=interface.name)
+
+
+def _flatten_conjuncts(src: Aig, var: int, limit: int = 8) -> List[int]:
+    """Source literals whose conjunction equals the AND node ``var``.
+
+    Positive AND-gate operands are expanded recursively until ``limit``
+    leaves; negated edges and non-AND nodes stay as leaves (inverters
+    block flattening, as in the rewriter).
+    """
+    leaves: List[int] = []
+    stack = [lit_from_var(var)]
+    while stack:
+        lit = stack.pop()
+        v = lit_var(lit)
+        if (not lit_sign(lit) and src.is_and(v)
+                and len(leaves) + len(stack) + 2 <= limit):
+            gate = src.and_gate(v)
+            stack.append(gate.left)
+            stack.append(gate.right)
+        else:
+            leaves.append(lit)
+    return leaves
+
+
+def _random_tree_and(dst: Aig, rng: random.Random, lits: List[int]) -> int:
+    """Conjoin literals under a random association tree."""
+    work = list(lits)
+    while len(work) > 1:
+        a = work.pop(rng.randrange(len(work)))
+        b = work.pop(rng.randrange(len(work)))
+        work.append(dst.add_and(a, b))
+    return work[0]
+
+
+# --------------------------------------------------------------------- #
+# Mutators
+# --------------------------------------------------------------------- #
+def mutate_unflatten(base: Model, rng: random.Random) -> Mutation:
+    """Re-associate AND chains under random leaf orders (rewrite inverse)."""
+    def hook(ctx: _Copier, var: int) -> Optional[int]:
+        if rng.random() >= 0.4:
+            return None
+        leaves = _flatten_conjuncts(ctx.src, var)
+        if len(leaves) < 3:
+            return None
+        mapped = [ctx.copy(leaf) for leaf in leaves]
+        rng.shuffle(mapped)
+        return _random_tree_and(ctx.dst, rng, mapped)
+
+    copier = _Copier(base.aig, base.aig.name, hook)
+    copier.clone_interface()
+    model = copier.finish(base)
+    return Mutation("unflatten", model,
+                    ModelMap.from_dicts(copier.input_map, copier.latch_map),
+                    note="AND chains re-associated under random leaf orders")
+
+
+def mutate_doubleneg(base: Model, rng: random.Random) -> Mutation:
+    """Double-negate gate fanins behind redundant mux structure."""
+    def wrap(ctx: _Copier, lit: int) -> int:
+        # ite(r, c, c) = ¬(¬(r∧c) ∧ ¬(¬r∧c)) ≡ c: the double negation a
+        # bare ¬¬c cannot express structurally in an AIG.
+        r = rng.choice(ctx.leaf_lits)
+        return ctx.dst.op_ite(r, lit, lit)
+
+    def hook(ctx: _Copier, var: int) -> Optional[int]:
+        if rng.random() >= 0.3:
+            return None
+        gate = ctx.src.and_gate(var)
+        left = wrap(ctx, ctx.copy(gate.left))
+        return ctx.dst.add_and(left, ctx.copy(gate.right))
+
+    copier = _Copier(base.aig, base.aig.name, hook)
+    copier.clone_interface()
+    model = copier.finish(base)
+    return Mutation("doubleneg", model,
+                    ModelMap.from_dicts(copier.input_map, copier.latch_map),
+                    note="fanins double-negated through ite(r, c, c)")
+
+
+def mutate_deadgraft(base: Model, rng: random.Random) -> Mutation:
+    """Graft latches and logic the property never observes (COI stress).
+
+    The identity copy goes through the preprocessing layer's own
+    :func:`~repro.preprocess.rebuild.rebuild_model` (the machinery behind
+    sweep/rewrite), then the graft is added to the rebuilt AIG.
+    """
+    src = base.aig
+    model, mmap = rebuild_model(
+        base, src,
+        src_inputs=[(v, v) for v in src.input_vars()],
+        src_latches=[(latch, latch.var, latch.next) for latch in src.latches],
+        src_bad=src.bad[base.property_index],
+        src_constraints=src.constraints)
+    aig = model.aig
+    latch_map = mmap.latch_map
+    pool = ([lit_from_var(v) for v in aig.input_vars()]
+            + [lit_from_var(v) for v in aig.latch_vars()])
+    grafted = [aig.add_latch(init=rng.randrange(2), name=f"graft{i}")
+               for i in range(rng.randrange(3, 7))]
+    for lit in grafted:
+        aig.set_latch_next(lit, random_cone(aig, rng, pool + grafted, 2, 5))
+    return Mutation("deadgraft", model,
+                    ModelMap.from_dicts(mmap.input_map, latch_map),
+                    note=f"{len(grafted)} dead latches grafted outside the cone")
+
+
+def mutate_dupgraft(base: Model, rng: random.Random) -> Mutation:
+    """Duplicate a property-cone node and guard the property with it.
+
+    ``dup ≡ orig`` (same function, different association), so
+    ``orig OR ¬dup`` is a tautology and ``bad AND (orig OR ¬dup)`` keeps
+    the verdict — while handing sweep/fraig a provable equivalence that
+    structural hashing alone cannot see.
+    """
+    src = base.aig
+    candidates = [v for v in src.fanin_cone([base.bad_literal])
+                  if src.is_and(v)]
+
+    def duplicate(ctx: _Copier, root: int) -> int:
+        memo: Dict[int, int] = {}
+
+        def dup(lit: int) -> int:
+            var = lit_var(lit)
+            if var in memo:
+                out = memo[var]
+            elif not ctx.src.is_and(var):
+                out = ctx.var2lit[var]          # leaves are shared
+            else:
+                leaves = _flatten_conjuncts(ctx.src, var)
+                if len(leaves) >= 3:
+                    mapped = [dup(leaf) for leaf in leaves]
+                    rng.shuffle(mapped)
+                    out = _random_tree_and(ctx.dst, rng, mapped)
+                else:
+                    gate = ctx.src.and_gate(var)
+                    out = ctx.dst.add_and(dup(gate.left), dup(gate.right))
+                memo[var] = out
+            return lit_negate(out) if lit_sign(lit) else out
+
+        return dup(lit_from_var(root))
+
+    def bad_wrap(ctx: _Copier, bad: int) -> int:
+        if not candidates:
+            return bad
+        root = rng.choice(candidates)
+        orig = ctx.copy(lit_from_var(root))
+        dup = duplicate(ctx, root)
+        return ctx.dst.add_and(bad, ctx.dst.op_or(orig, lit_negate(dup)))
+
+    copier = _Copier(base.aig, base.aig.name)
+    copier.clone_interface()
+    model = copier.finish(base, bad_wrap=bad_wrap)
+    return Mutation("dupgraft", model,
+                    ModelMap.from_dicts(copier.input_map, copier.latch_map),
+                    note="property guarded with a re-associated cone duplicate")
+
+
+def _stuck_value(src: Aig, latch) -> Optional[int]:
+    """The constant a latch is structurally stuck at, or ``None``."""
+    if latch.init is None:
+        return None
+    const = TRUE if latch.init else FALSE
+    if latch.next == const:
+        return latch.init
+    if latch.next == lit_from_var(latch.var):   # positive self-loop
+        return latch.init
+    return None
+
+
+def mutate_retime(base: Model, rng: random.Random) -> Mutation:
+    """Stretch structurally stuck latches into two-deep latch chains.
+
+    A latch stuck at ``v`` is replaced by ``q1 → q2``, both initialised to
+    ``v``: ``q1`` keeps the original recurrence (with the latch's own
+    occurrences remapped to ``q2``) and ``q2`` samples ``q1``.  By
+    induction both hold ``v`` at every frame, so observers reading the
+    chain end ``q2`` see the identical value stream — retiming that only
+    a sweep can undo.
+    """
+    src = base.aig
+    stuck = {latch.var: _stuck_value(src, latch) for latch in src.latches}
+    stuck = {var: val for var, val in stuck.items() if val is not None}
+
+    copier = _Copier(src, src.name)
+    chains = []
+    for var in src.input_vars():
+        lit = copier.dst.add_input(src.input_name(var))
+        copier.var2lit[var] = lit
+        copier.input_map[var] = lit_var(lit)
+        copier.leaf_lits.append(lit)
+    for latch in src.latches:
+        if latch.var in stuck:
+            name = latch.name or f"l{latch.var}"
+            q1 = copier.dst.add_latch(init=latch.init, name=f"{name}_rt0")
+            q2 = copier.dst.add_latch(init=latch.init, name=f"{name}_rt1")
+            copier.dst.set_latch_next(q2, q1)
+            copier.var2lit[latch.var] = q2        # observers read the chain end
+            copier.latch_map[latch.var] = lit_var(q2)
+            copier.leaf_lits.append(q2)
+            chains.append((latch, q1))
+        else:
+            lit = copier.dst.add_latch(init=latch.init, name=latch.name)
+            copier.var2lit[latch.var] = lit
+            copier.latch_map[latch.var] = lit_var(lit)
+            copier.leaf_lits.append(lit)
+
+    for latch in src.latches:
+        if latch.var in stuck:
+            continue
+        copier.dst.set_latch_next(copier.var2lit[latch.var],
+                                  copier.copy(latch.next))
+    for latch, q1 in chains:
+        copier.dst.set_latch_next(q1, copier.copy(latch.next))
+    bad = copier.copy(src.bad[base.property_index])
+    copier.dst.add_bad(bad, src.bad_name(base.property_index))
+    for constraint in src.constraints:
+        copier.dst.add_constraint(copier.copy(constraint))
+    model = Model(copier.dst, property_index=0, name=base.name)
+    return Mutation("retime", model,
+                    ModelMap.from_dicts(copier.input_map, copier.latch_map),
+                    note=f"{len(chains)} stuck latches stretched into chains")
+
+
+#: Registry, in deterministic application order.
+MUTATORS: Dict[str, Callable[[Model, random.Random], Mutation]] = {
+    "unflatten": mutate_unflatten,
+    "doubleneg": mutate_doubleneg,
+    "deadgraft": mutate_deadgraft,
+    "dupgraft": mutate_dupgraft,
+    "retime": mutate_retime,
+}
+
+
+def apply_mutator(name: str, base: Model, seed: int) -> Mutation:
+    """Apply a registered mutator with its own deterministic rng stream."""
+    try:
+        mutator = MUTATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown mutator {name!r}; "
+                       f"known: {', '.join(MUTATORS)}") from None
+    return mutator(base, random.Random(f"repro-fuzz-mut:{name}:{seed}"))

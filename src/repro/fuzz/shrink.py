@@ -1,0 +1,104 @@
+"""Disagreement shrinking: smaller witnesses for fuzz-found failures.
+
+Given a model on which some engine comparison fails, the shrinker greedily
+tries two reductions while the caller-supplied predicate keeps holding:
+
+* **drop a latch** — pin it to its initial value and remove it, via the
+  ``substitutions`` leg of
+  :func:`repro.preprocess.rebuild.rebuild_model`;
+* **redirect an AND gate** — replace the gate by one of its own fanins,
+  via the ``redirects`` leg (the fraig substitution primitive).
+
+Both reductions change the model's *function* — that is the point: the
+planted verdict stops being meaningful on a shrunk model, so the predicate
+must assert an *internal* inconsistency (engines disagreeing with each
+other), which stays well-defined under any surgery.  The loop builds that
+predicate; see ``repro.fuzz.loop``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..aig import FALSE, TRUE
+from ..aig.model import Model
+from ..preprocess.rebuild import rebuild_model
+
+__all__ = ["shrink_model"]
+
+
+def _drop_latch(model: Model, var: int) -> Optional[Model]:
+    """Pin one latch to its initial value and rebuild without it."""
+    src = model.aig
+    latch = src.latch(var)
+    if latch.init is None:
+        return None
+    kept = [(l, l.var, l.next) for l in src.latches if l.var != var]
+    rebuilt, _ = rebuild_model(
+        model, src,
+        src_inputs=[(v, v) for v in src.input_vars()],
+        src_latches=kept,
+        src_bad=src.bad[model.property_index],
+        src_constraints=src.constraints,
+        substitutions={var: TRUE if latch.init else FALSE})
+    return rebuilt
+
+
+def _redirect_gate(model: Model, var: int, target_lit: int) -> Model:
+    """Replace one AND gate by one of its fanin literals and rebuild."""
+    src = model.aig
+    rebuilt, _ = rebuild_model(
+        model, src,
+        src_inputs=[(v, v) for v in src.input_vars()],
+        src_latches=[(l, l.var, l.next) for l in src.latches],
+        src_bad=src.bad[model.property_index],
+        src_constraints=src.constraints,
+        redirects={var: target_lit})
+    return rebuilt
+
+
+def shrink_model(model: Model,
+                 still_failing: Callable[[Model], bool],
+                 max_checks: int = 48) -> Model:
+    """Greedy reduction: keep any candidate on which the failure persists.
+
+    ``max_checks`` bounds the number of predicate evaluations (each one
+    re-runs engines), so shrinking a stubborn witness stays cheap relative
+    to having found it.
+    """
+    current = model
+    checks = 0
+
+    def holds(candidate: Model) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return still_failing(candidate)
+        except Exception:
+            return False
+
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for latch in current.aig.latches:
+            if checks >= max_checks:
+                break
+            candidate = _drop_latch(current, latch.var)
+            if candidate is not None and holds(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved or checks >= max_checks:
+            continue
+        for gate in reversed(current.aig.ands):
+            if checks >= max_checks or improved:
+                break
+            for target in (gate.left, gate.right):
+                if checks >= max_checks:
+                    break
+                candidate = _redirect_gate(current, gate.var, target)
+                if holds(candidate):
+                    current = candidate
+                    improved = True
+                    break
+    return current

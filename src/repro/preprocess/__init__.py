@@ -30,6 +30,7 @@ from .passes import (
     PreprocessResult,
     build_pipeline,
 )
+from .rebuild import rebuild_model
 from .rewrite import RewritePass, rewrite_and
 from .sweep import SweepPass, ternary_latch_fixpoint
 
@@ -54,6 +55,7 @@ __all__ = [
     "Pipeline",
     "PreprocessResult",
     "build_pipeline",
+    "rebuild_model",
     "RewritePass",
     "rewrite_and",
     "SweepPass",

@@ -1,0 +1,65 @@
+"""Binary AIGER round-trips over the fuzz generator's output corpus.
+
+The generator produces shapes the hand-written circuits never do —
+interleaved node creation, nonzero and mixed latch resets, invariant
+constraints, dead logic — which makes its first 100 seeds a useful
+round-trip corpus for the binary codec: write → read must preserve the
+interface exactly, writing again must be a byte-identical fixpoint, and
+the reread circuit must be behaviourally identical to the original.
+"""
+
+import random
+
+from repro.aig.aiger import dumps_aig, loads_aig
+from repro.aig.model import Model
+from repro.aig.simulate import SequentialSimulator, lit_value
+from repro.fuzz import FuzzParams, generate
+
+N_SEEDS = 100
+WIDTH = 32
+FRAMES = 4
+
+
+def test_corpus_exercises_resets_and_constraints():
+    params = [FuzzParams.from_seed(seed) for seed in range(N_SEEDS)]
+    assert any(p.nonzero_inits > 0 for p in params)
+    assert any(p.with_constraint for p in params)
+
+
+def test_binary_roundtrip_over_generator_corpus():
+    rng = random.Random("aiger-fuzz-roundtrip")
+    for seed in range(N_SEEDS):
+        model, _ = generate(seed)
+        original = model.aig
+        data = dumps_aig(original)
+        reread = loads_aig(data)
+
+        assert reread.num_inputs == original.num_inputs, f"seed {seed}"
+        assert reread.num_latches == original.num_latches, f"seed {seed}"
+        assert reread.num_ands == original.num_ands, f"seed {seed}"
+        assert len(reread.bad) == len(original.bad), f"seed {seed}"
+        assert (len(reread.constraints)
+                == len(original.constraints)), f"seed {seed}"
+        # Latch order and reset values survive (the writer renumbers
+        # variables but keeps declaration order).
+        assert ([latch.init for latch in reread.latches]
+                == [latch.init for latch in original.latches]), f"seed {seed}"
+
+        # Writing the reread circuit is a byte-identical fixpoint.
+        assert dumps_aig(reread) == data, f"seed {seed}"
+
+        # Behavioural identity: same stimuli by input position, same bad
+        # literal stream.
+        reread_model = Model(reread, property_index=0, name=model.name)
+        sim_a = SequentialSimulator(original, WIDTH)
+        sim_b = SequentialSimulator(reread, WIDTH)
+        pairs = list(zip(model.input_vars, reread_model.input_vars))
+        for frame in range(FRAMES):
+            words = [rng.getrandbits(WIDTH) for _ in pairs]
+            values_a = sim_a.step(
+                {var: word for (var, _), word in zip(pairs, words)})
+            values_b = sim_b.step(
+                {var: word for (_, var), word in zip(pairs, words)})
+            assert (lit_value(values_a, model.bad_literal, WIDTH)
+                    == lit_value(values_b, reread_model.bad_literal, WIDTH)), (
+                f"seed {seed}: bad literal diverged at frame {frame}")

@@ -1,0 +1,20 @@
+"""Auto-tag everything under tests/fuzz/ with the ``fuzz`` marker.
+
+Mirrors ``benchmarks/conftest.py``: the default run deselects the marker
+(``addopts = "-m 'not bench and not fuzz'"`` in pyproject.toml) so the
+tier-1 signal stays fast, while the fuzz campaigns remain one explicit
+``-m fuzz`` away.  CI runs them in the push/PR smoke step and the nightly
+``fuzz`` job.
+"""
+
+import os
+
+import pytest
+
+_FUZZ_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if str(item.fspath).startswith(_FUZZ_DIR):
+            item.add_marker(pytest.mark.fuzz)

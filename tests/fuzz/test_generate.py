@@ -1,0 +1,64 @@
+"""Generator properties: determinism, planted oracles, registry wiring."""
+
+from repro.aig.aiger import dumps_aag
+from repro.bmc.engine import BmcEngine
+from repro.circuits import get_instance
+from repro.fuzz import FuzzParams, build_model, fuzz_model_name, generate
+from repro.fuzz.generate import MAX_FAIL_DEPTH, parse_fuzz_name
+
+
+def test_generation_is_deterministic():
+    for seed in (0, 1, 17, 123):
+        model_a, params_a = generate(seed)
+        model_b, params_b = generate(seed)
+        assert params_a == params_b
+        assert dumps_aag(model_a.aig) == dumps_aag(model_b.aig)
+
+
+def test_params_are_pure_recipes():
+    params = FuzzParams.from_seed(42)
+    assert dumps_aag(build_model(params).aig) == dumps_aag(generate(42)[0].aig)
+
+
+def test_name_scheme_roundtrip():
+    assert fuzz_model_name(17) == "fuzz_s17"
+    assert parse_fuzz_name("fuzz_s17") == 17
+    assert parse_fuzz_name("fuzz_s") is None
+    assert parse_fuzz_name("fuzz_sx1") is None
+    assert parse_fuzz_name("counter8") is None
+
+
+def test_seed_range_covers_the_interesting_features():
+    """The first 100 seeds must exercise every generator feature class."""
+    params = [FuzzParams.from_seed(seed) for seed in range(100)]
+    assert any(p.expected == "pass" for p in params)
+    assert any(p.expected == "fail" for p in params)
+    assert any(p.expected_depth == 0 for p in params)
+    assert any(p.with_constraint for p in params)
+    assert any(p.nonzero_inits > 0 for p in params)
+    assert any(p.dead_latches > 0 for p in params)
+    assert all(p.expected_depth is None or p.expected_depth <= MAX_FAIL_DEPTH
+               for p in params)
+
+
+def test_planted_verdicts_hold_under_bmc():
+    """BMC (an independent path from the UMC engines) confirms the plant."""
+    for seed in range(12):
+        model, params = generate(seed)
+        result = BmcEngine(model, preprocess=False).run(
+            max_depth=MAX_FAIL_DEPTH + 2)
+        if params.expected == "fail":
+            assert result.status == "fail", f"seed {seed}"
+            assert result.depth == params.expected_depth, f"seed {seed}"
+        else:
+            assert result.status == "no_cex", f"seed {seed}"
+
+
+def test_registry_accepts_seed_named_instances():
+    instance = get_instance("fuzz_s7")
+    model, params = generate(7)
+    assert instance.category == "fuzz"
+    assert instance.expected == params.expected
+    assert instance.expected_depth == params.expected_depth
+    assert instance.generator_params == params.describe()
+    assert dumps_aag(instance.build().aig) == dumps_aag(model.aig)
