@@ -6,6 +6,8 @@ Examples::
     python -m repro design.aig --engine itpseq --max-bound 40 --time-limit 60
     python -m repro design.aag --engine portfolio --stats
     python -m repro design.aag --engine portfolio --race --jobs 4
+    python -m repro design.aag --engine portfolio --race --share --share-log lem.jsonl
+    python -m repro design.aag --engine pdr --share-replay lem.jsonl --share-aggressive
     python -m repro design.aag --no-preprocess --stats
     python -m repro design.aag --passes coi,fraig,cnf --stats
     python -m repro design.aag --engine itpseq --events trace.jsonl -v
@@ -72,6 +74,30 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="max concurrent worker processes for --race "
                              "(default: one per engine; 0 = all cores)")
+    parser.add_argument("--share", dest="share", action="store_true",
+                        default=False,
+                        help="with --race: cooperative portfolio — workers "
+                             "exchange lemmas (PDR frame clauses, "
+                             "interpolant R summaries, refuted-depth "
+                             "facts) over their result pipes")
+    parser.add_argument("--no-share", dest="share", action="store_false",
+                        help="with --race: blind race (the default)")
+    parser.add_argument("--share-log", default=None, metavar="FILE",
+                        help="with --share: record every published and "
+                             "accepted lemma to FILE as JSON lines; any "
+                             "engine's run is then reproducible bit for "
+                             "bit with --share-replay FILE")
+    parser.add_argument("--share-replay", default=None, metavar="FILE",
+                        help="re-run a single --engine with exactly the "
+                             "foreign lemmas a recorded share log "
+                             "delivered to it, regenerating its artefacts "
+                             "deterministically (conflicts with --race)")
+    parser.add_argument("--share-aggressive", action="store_true",
+                        help="let imported lemmas change engines' search "
+                             "trajectories (bound jumps, PDR obligation "
+                             "pruning) instead of only skipping "
+                             "already-answered solves; sound, but k_fp/"
+                             "j_fp may differ from a solo run")
     parser.add_argument("--property", type=int, default=0, metavar="N",
                         help="index of the bad literal to check (default: 0)")
     parser.add_argument("--max-bound", type=int, default=30, metavar="K",
@@ -154,6 +180,10 @@ def _print_result(result: VerificationResult, args: argparse.Namespace) -> None:
                 # With preprocessing off every pre_*/fraig_* counter is
                 # structurally zero — drop the whole group.
                 groups = tuple(g for g in groups if g != "preprocess")
+            if not (args.share or args.share_replay):
+                # Without a share bus attached the sharing counters are
+                # structurally zero too.
+                groups = tuple(g for g in groups if g != "share")
             for group, counters in result.stats.grouped(groups).items():
                 print(f"  [{group}]")
                 for key, value in counters.items():
@@ -241,6 +271,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("error: --jobs must be >= 0 (0 = all cores)",
                   file=sys.stderr)
             return 3
+    if args.share and not args.race:
+        parser.print_usage(sys.stderr)
+        print("error: --share requires --race", file=sys.stderr)
+        return 3
+    if args.share_log is not None and not args.share:
+        parser.print_usage(sys.stderr)
+        print("error: --share-log requires --share", file=sys.stderr)
+        return 3
+    if args.share_replay is not None and (args.share or args.race
+                                          or args.engine == "portfolio"):
+        parser.print_usage(sys.stderr)
+        print("error: --share-replay re-runs a single --engine and "
+              "conflicts with --race/--share", file=sys.stderr)
+        return 3
+    if args.share_aggressive and not (args.share or args.share_replay):
+        parser.print_usage(sys.stderr)
+        print("error: --share-aggressive requires --share or --share-replay",
+              file=sys.stderr)
+        return 3
 
     preprocess_passes = None
     if args.passes is not None:
@@ -267,22 +316,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                             preprocess_passes=preprocess_passes,
                             proof_reduce=args.proof_reduce,
                             itp_compact=args.itp_compact,
-                            fixpoint_incremental=args.fixpoint_incremental)
+                            fixpoint_incremental=args.fixpoint_incremental,
+                            share_aggressive=args.share_aggressive)
     tracer = None
     if args.events is not None and not args.race:
         from .obs.sinks import JsonlSink
         from .obs.tracer import Tracer
 
         tracer = Tracer(JsonlSink(args.events))
+    share_port = None
+    if args.share_replay is not None:
+        from .share.bus import ReplayShareBus
+        from .share.log import read_share_log
+
+        share_port = ReplayShareBus(read_share_log(args.share_replay)) \
+            .port(args.engine)
     try:
         if args.engine == "portfolio":
             # The race builds per-worker tracers from the base path itself
             # (tracers hold live sinks and never cross process boundaries).
             result = Portfolio(options=options).run_first_solved(
                 model, parallel=args.race, jobs=args.jobs, tracer=tracer,
-                events_path=args.events if args.race else None)
+                events_path=args.events if args.race else None,
+                share=args.share, share_log=args.share_log)
         else:
-            result = run_engine(args.engine, model, options, tracer=tracer)
+            result = run_engine(args.engine, model, options, tracer=tracer,
+                                share=share_port)
     finally:
         if tracer is not None:
             tracer.close()

@@ -24,6 +24,7 @@ clause-work drop.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -37,6 +38,8 @@ from .incremental import IncrementalUnroller
 from .unroll import Unroller
 
 __all__ = ["BmcResult", "BmcEngine"]
+
+_log = logging.getLogger("repro.bmc.engine")
 
 
 @dataclass
@@ -86,13 +89,15 @@ class BmcEngine:
                  validate_traces: bool = True, incremental: bool = True,
                  preprocess: bool = True,
                  preprocess_passes: Optional[tuple] = None,
-                 tracer=None) -> None:
+                 tracer=None, share=None) -> None:
         from ..obs.tracer import NULL_TRACER
 
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Live counter snapshot sampled by the tracer on span boundaries.
         self._counters = {"sat_calls": 0, "clauses_added": 0,
-                          "conflicts": 0, "propagations": 0}
+                          "conflicts": 0, "propagations": 0,
+                          "lemmas_tx": 0, "lemmas_rx": 0,
+                          "lemmas_retracted": 0, "share_solves_skipped": 0}
         self.tracer.bind_counters(lambda: self._counters)
         self.source_model = model
         self._preprocess = None
@@ -115,6 +120,69 @@ class BmcEngine:
         self.check_kind = check_kind
         self.validate_traces = validate_traces
         self.incremental = incremental
+        # Cooperative lemma sharing (depth-only policy; incremental mode).
+        self.share = share
+        self._share_validator = None
+        self._share_depth = -1
+        self._share_published_depth = -1
+        if self.share is not None:
+            self._share_attach()
+
+    # ------------------------------------------------------------------ #
+    # Cooperative lemma sharing (depth facts only)
+    # ------------------------------------------------------------------ #
+    def _share_attach(self) -> None:
+        """Fingerprint handshake + import validator, as UmcEngine does.
+
+        BMC only ever consumes and produces "no counterexample up to d"
+        facts: a covered depth's solve is skipped outright (the foreign
+        refutation already answered it) and its frame encodings are
+        deferred until the next genuinely attempted depth, which is why
+        sharing is wired into the incremental mode only.
+        """
+        from ..share.adapt import ImportValidator
+        from ..share.lemma import model_fingerprint
+
+        fingerprint = model_fingerprint(self.model)
+        if not self.share.register_fingerprint(fingerprint):
+            _log.warning("bmc: model fingerprint mismatch with the share "
+                         "bus — sharing disabled for this run")
+            self.share = None
+            return
+        self._share_validator = ImportValidator(self.model)
+        self._share_validator.prepare()
+
+    def _share_sync(self, depth: int) -> None:
+        if self.share is None:
+            return
+        from ..share.lemma import DepthLemma
+
+        accepted: List[int] = []
+        for shared in self.share.sync(depth):
+            if self._share_validator is not None:
+                reason = self._share_validator.reject_reason(shared.lemma)
+                if reason is not None:
+                    self._counters["lemmas_retracted"] += 1
+                    if self.tracer.enabled:
+                        self.tracer.point("share_reject", seq=shared.seq,
+                                          reason=reason)
+                    continue
+            if not isinstance(shared.lemma, DepthLemma):
+                continue  # not applicable here: not accepted, not an error
+            self._share_depth = max(self._share_depth, shared.lemma.depth)
+            self._counters["lemmas_rx"] += 1
+            accepted.append(shared.seq)
+        if accepted:
+            self.share.commit(depth, accepted)
+
+    def _share_publish_depth(self, depth: int) -> None:
+        if self.share is None or depth <= self._share_published_depth:
+            return
+        from ..share.lemma import DepthLemma
+
+        self._share_published_depth = depth
+        self.share.publish(DepthLemma(depth=depth))
+        self._counters["lemmas_tx"] += 1
 
     def check_initial_states(self) -> Optional[Trace]:
         """Return a depth-0 counterexample when an initial state is already bad."""
@@ -168,6 +236,16 @@ class BmcEngine:
             remaining = None
             depth_start = time.monotonic()
             if depth > 0:
+                self._share_sync(depth)
+                if depth <= self._share_depth:
+                    # A foreign "no counterexample ≤ d" fact covers this
+                    # depth: skip its solve and defer its frame encoding
+                    # (extend_to below catches up at the next live depth).
+                    self._counters["share_solves_skipped"] += 1
+                    result.checked_depth = depth
+                    if self.tracer.enabled:
+                        self.tracer.point("share_skip", bound=depth)
+                    continue
                 if time_limit is not None:
                     remaining = time_limit - (time.monotonic() - start)
                     if remaining <= 0:
@@ -179,7 +257,7 @@ class BmcEngine:
                     # Frame encoding is part of the depth's cost, matching
                     # the fresh-solver mode where build_check runs inside
                     # the timer.
-                    unroller.extend()
+                    unroller.extend_to(depth)
                 budget = (Budget(max_conflicts=conflict_limit,
                                  max_time=remaining)
                           if depth > 0 else None)
@@ -200,6 +278,7 @@ class BmcEngine:
                     result.checked_depth = depth
                     break
                 result.checked_depth = depth
+                self._share_publish_depth(depth)
         result.time_seconds = time.monotonic() - start
         return result
 

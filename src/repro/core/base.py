@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..aig.aig import Aig, lit_is_const, lit_negate
 from ..aig.model import Model
@@ -62,6 +62,10 @@ from ..preprocess.passes import PreprocessResult, build_pipeline
 from ..sat.proof import ResolutionProof, reduce_proof
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SatResult, SolverStats
+from ..share.adapt import ImportValidator
+from ..share.bus import SharePort
+from ..share.lemma import (DepthLemma, FrameLemma, Lemma, ReachLemma,
+                           model_fingerprint, serialize_cone)
 from .fixpoint import FixpointChecker
 from .options import EngineOptions
 from .result import EngineStats, Verdict, VerificationResult
@@ -184,10 +188,16 @@ class UmcEngine:
     #: Statistic groups this engine can structurally populate — the CLI's
     #: grouped ``--stats`` rendering shows exactly these (see
     #: :meth:`repro.core.result.EngineStats.grouped`).
-    stat_groups = ("solver", "preprocess", "lifecycle")
+    stat_groups = ("solver", "preprocess", "lifecycle", "share")
+
+    #: Whether aggressive sharing may bump this engine's outer bound past a
+    #: foreign depth frontier (:meth:`_share_next_bound`).  Engines whose
+    #: per-bound cost grows with the starting bound opt out.
+    _share_jumps = True
 
     def __init__(self, model: Model, options: Optional[EngineOptions] = None,
-                 tracer: Optional[NullTracer] = None) -> None:
+                 tracer: Optional[NullTracer] = None,
+                 share: Optional[SharePort] = None) -> None:
         self._source_model = model
         self.options = options or EngineOptions()
         #: The run's span tracer (default: the no-op NullTracer).  Counter
@@ -225,6 +235,29 @@ class UmcEngine:
         #: Persistent incremental containment checker over self.aig (the
         #: R-accumulation fixpoint tests; see repro.core.fixpoint).
         self._fixpoint_checker: Optional[FixpointChecker] = None
+        #: Share-bus endpoint for cooperative portfolio runs (None = solo;
+        #: see the "Cooperative lemma sharing" section below).
+        self.share: Optional[SharePort] = share
+        self._share_validator: Optional[ImportValidator] = None
+        #: Largest counterexample depth foreign DepthLemmas have ruled out.
+        self._share_depth = -1
+        self._share_published_depth = -1
+        #: Largest bound ``b`` such that this engine itself ran every bound
+        #: ``1..b`` (no jump skipped one).  Sequence-engine fixpoint claims
+        #: are gated on it: see :meth:`_share_fixpoint_allowed`.
+        self._share_contiguous = 0
+        #: Accepted foreign frame clauses as [FrameLemma, installed_to]
+        #: pairs — installed_to is the highest searcher frame the clause has
+        #: been asserted at so far (-1 = not yet installed anywhere).
+        self._share_frames: List[List] = []
+        #: Accepted foreign R summaries (consumed by the PDR subclass only).
+        self._share_reach: List[ReachLemma] = []
+        #: Dedicated activation-literal group holding every foreign clause
+        #: in the cex searcher's solver, for wholesale retraction.
+        self._share_group: Optional[int] = None
+        self._share_distrust = False
+        if self.share is not None:
+            self._share_attach()
 
     # ------------------------------------------------------------------ #
     # Observability
@@ -482,12 +515,313 @@ class UmcEngine:
         """
         if not self.options.incremental_cex_search:
             return None
+        if self.share is not None and bound <= self._share_depth:
+            # A foreign DepthLemma already covers this bound, so the search
+            # would come back UNSAT.  Skip the solve *and* the searcher
+            # extension: extend() tolerates deliberately skipped depths, and
+            # the first uncovered bound extends straight through the gap.
+            self.stats.share_solves_skipped += 1
+            if self.tracer.enabled:
+                self.tracer.point("share_skip", bound=bound)
+            return None
         searcher = self._cex_search_unroller()
         with self.tracer.span("cex_search"):
             searcher.extend_to(bound)
-            if self._solve(searcher.solver, searcher.assumptions()) is SatResult.SAT:
+            assumptions = searcher.assumptions()
+            if self.share is not None:
+                self._share_install_frames(searcher, bound)
+                assumptions = assumptions + self._share_assumptions()
+            if self._solve(searcher.solver, assumptions) is SatResult.SAT:
                 return searcher.extract_trace()
         return None
+
+    # ------------------------------------------------------------------ #
+    # Cooperative lemma sharing
+    # ------------------------------------------------------------------ #
+    # The conservative contract (always on when a port is attached): foreign
+    # facts only ever reach the *proof-free* counterexample searcher.  Sound
+    # reachability facts cannot cut a genuine counterexample (they only
+    # remove models the real system never visits), and the proof-logged
+    # refutation checks never see a foreign clause — so interpolants, and
+    # with them k_fp/j_fp, are identical to a solo run.  Even an unsound
+    # lemma that slips past validation can only flip the searcher from SAT
+    # to UNSAT; the proof-logged check then finds the genuine counterexample
+    # anyway and _share_check_disagreement retracts every import.
+    #
+    # ``options.share_aggressive`` additionally lets foreign facts steer the
+    # search trajectory (bound jumps, PDR obligation pruning) — still sound,
+    # but k_fp/j_fp may then legitimately differ from a solo run.
+
+    def _share_attach(self) -> None:
+        """Join the bus: fingerprint handshake + validation precompute."""
+        assert self.share is not None
+        fingerprint = model_fingerprint(self.model)
+        if not self.share.register_fingerprint(fingerprint):
+            _log.warning("%s: share fingerprint mismatch on %s — sharing "
+                         "disabled for this run", self.name, self.model.name)
+            self.share = None
+            return
+        # Precompute the validation simulation now, while the AIG is still
+        # the pristine reduced model (engines bloat their private AIGs with
+        # interpolant cones later, and simulating those is pure waste).
+        self._share_validator = ImportValidator(self.model)
+        self._share_validator.prepare()
+
+    def _share_sync(self, boundary: int) -> None:
+        """Exchange lemmas with the bus at a bound/obligation boundary.
+
+        Imports are applied *only* here, and every accepted batch is
+        committed back keyed by ``boundary`` — which is exactly what makes
+        a recorded run replayable (:mod:`repro.share.log`).  May raise
+        :class:`repro.share.bus.ShareCancelled` when the surrounding race
+        already ended.
+        """
+        if self.share is None:
+            return
+        delivered = self.share.sync(boundary)
+        if not delivered:
+            return
+        accepted: List[int] = []
+        for shared in delivered:
+            reason: Optional[str] = None
+            if self._share_distrust:
+                reason = "imports distrusted after a disagreement"
+            elif self._share_validator is not None:
+                reason = self._share_validator.reject_reason(shared.lemma)
+            if reason is not None:
+                self.stats.lemmas_retracted += 1
+                if self.tracer.enabled:
+                    self.tracer.point("share_reject", seq=shared.seq,
+                                      source=shared.source,
+                                      kind=shared.lemma.kind, reason=reason)
+                continue
+            if not self._share_apply(shared.lemma):
+                continue  # sound but not usable by this engine: not accepted
+            accepted.append(shared.seq)
+            self.stats.lemmas_rx += 1
+            if self.tracer.enabled:
+                self.tracer.point("share_rx", seq=shared.seq,
+                                  source=shared.source, kind=shared.lemma.kind)
+        if accepted:
+            self.share.commit(boundary, accepted)
+
+    def _share_yield(self) -> None:
+        """Heartbeat between solves inside one boundary (no lemma traffic).
+
+        Keeps the cooperative turnstile's work clock fair for
+        engines whose boundaries span many solver calls; a no-op solo and
+        on every non-cooperative port.  May raise
+        :class:`~repro.share.bus.ShareCancelled` mid-boundary — exactly
+        the point: a racing loser is preempted between solves, not only at
+        its next import boundary.
+        """
+        if self.share is not None:
+            self.share.yield_turn()
+
+    def _share_apply(self, lemma: Lemma) -> bool:
+        """Stage one validated foreign lemma; ``False`` = not usable here.
+
+        Base policy (the conservative contract): depth facts gate the
+        searcher's solves, frame clauses constrain its unrolling.  R
+        summaries are only usable by the PDR subclass, which overrides.
+        """
+        if isinstance(lemma, DepthLemma):
+            self._share_depth = max(self._share_depth, lemma.depth)
+            return True
+        if isinstance(lemma, FrameLemma):
+            self._share_frames.append([lemma, -1])
+            return True
+        return False
+
+    def _share_install_frames(self, searcher: IncrementalUnroller,
+                              bound: int) -> None:
+        """Assert accepted frame clauses at every searcher frame ≤ level.
+
+        All foreign clauses live in one dedicated activation-literal group
+        of the searcher's solver, so a disagreement retracts the clauses
+        *and* everything learned from them in one release.
+        """
+        latches = searcher.unroller.model.latch_vars
+        for entry in self._share_frames:
+            lemma, installed_to = entry
+            if any(var not in latches for var, _ in lemma.cube):
+                # A var this engine's reduced model does not latch (e.g. the
+                # peer kept a cone preprocessing removed here, or the lemma
+                # slipped past validation): quarantine, never install.
+                entry[1] = self.options.max_bound
+                continue
+            top = min(bound, lemma.level)
+            if installed_to >= top:
+                continue
+            if self._share_group is None:
+                self._share_group = searcher.solver.new_group()
+            for frame in range(installed_to + 1, top + 1):
+                clause = []
+                for var, value in lemma.cube:
+                    cnf_var = searcher.unroller.latch_cnf_var(frame, var)
+                    clause.append(-cnf_var if value else cnf_var)
+                searcher.solver.add_clause(clause, group=self._share_group)
+            entry[1] = top
+
+    def _share_assumptions(self) -> List[int]:
+        """Assumption literals activating the foreign clause group."""
+        if self._share_group is None or self._cex_searcher is None:
+            return []
+        return [self._cex_searcher.solver.group_literal(self._share_group)]
+
+    def _share_next_bound(self, k: int) -> int:
+        """The outer bound actually attempted when the schedule says ``k``.
+
+        Conservative sharing never changes the trajectory.  Aggressive
+        sharing jumps past a foreign depth frontier: the outer bounds are
+        independent iterations, so starting the next one at ``frontier + 1``
+        is sound — the proof simply closes at a deeper bound, and the
+        engine never re-derives refutations the portfolio already owns.
+        Engines whose convergence cost *grows* with the starting bound set
+        ``_share_jumps = False`` and keep their own ladder.
+        """
+        if (self.share is None or not self.options.share_aggressive
+                or not self._share_jumps
+                or self._share_depth + 1 <= k):
+            return k
+        jumped = min(self._share_depth + 1, self.options.max_bound)
+        if jumped > k and self.tracer.enabled:
+            self.tracer.point("share_jump", from_bound=k, to_bound=jumped)
+        return jumped
+
+    def _share_advance(self, next_bound: int) -> int:
+        """Pick the bound to run next and track contiguous coverage.
+
+        Wraps :meth:`_share_next_bound`, additionally maintaining
+        ``_share_contiguous``: once a jump skips a bound, the contiguous
+        prefix is frozen forever (bounds only move forward, so a hole is
+        never revisited).
+        """
+        bound = self._share_next_bound(next_bound)
+        if bound == next_bound and self._share_contiguous == next_bound - 1:
+            self._share_contiguous = bound
+        return bound
+
+    def _share_fixpoint_allowed(self, j: int) -> bool:
+        """May a sequence-matrix fixpoint be claimed at column ``j``?
+
+        The ITPSEQ safety argument needs every column ``i < j`` to exclude
+        failure-distance-0 states, and that exclusion comes from the
+        *diagonal* element ``Iⁱᵢ`` — bound ``i``'s own refutation.  A bound
+        jumped over never contributes its diagonal, leaving a distance hole
+        through which an unreached-yet-failing state can slip into the
+        "fixpoint" (observed: a planted depth-4 counterexample PASSed at
+        bound 3 after a 1→3 jump weakened column 2).  So a fixpoint at
+        column ``j`` is claimable only when bounds ``1..j-1`` all actually
+        ran — otherwise the candidate must be re-certified from scratch
+        (:meth:`_share_certify_invariant`).  Solo and conservative runs
+        never jump, so the gate is invisible outside aggressive sharing.
+        """
+        return j - 1 <= self._share_contiguous
+
+    def _share_certify_invariant(self, candidate: int) -> bool:
+        """Directly certify a candidate invariant whose diagonal is missing.
+
+        After a bound jump the matrix columns keep their *inductive-chain*
+        property — ``Img(ℐᵢ) ⊆ ℐᵢ₊₁`` holds because every contributing
+        interpolant satisfies it and column ``i+1``'s contributors are a
+        subset of column ``i``'s — but lose the diagonal *safety*
+        exclusion.  So when containment succeeds at a gated column, the
+        candidate ``R = S₀ ∨ ℐ₁ ∨ … ∨ ℐⱼ₋₁`` is re-certified from first
+        principles with two checks that depend on nothing skipped:
+
+        * safety — ``R ∧ bad`` unsatisfiable (inputs free);
+        * consecution — ``R ∧ T ∧ ¬R′`` unsatisfiable.
+
+        Both solves are counted in the engine statistics (the cost of
+        jumping is paid on the books).  Constraints are asserted only at
+        the pre-state frame, which can only make the checks stricter —
+        a spurious rejection keeps the engine running, never unsound.
+        """
+        from ..bmc.unroll import Unroller
+
+        if not self._implies(candidate, self.model.property_literal):
+            return False
+        solver = CdclSolver()
+        unroller = Unroller(self.model, solver)
+        unroller.assert_formula(candidate, frame=0, partition=None)
+        unroller.add_transition(0, partition=None)
+        unroller.assert_formula(candidate, frame=1, partition=None,
+                                negate=True)
+        certified = self._solve(solver) is SatResult.UNSAT
+        if self.tracer.enabled:
+            self.tracer.point("share_certify", certified=certified)
+        return certified
+
+    def _share_publish(self, lemma: Lemma) -> None:
+        """Offer a lemma to the bus (no-op for solo runs)."""
+        if self.share is None:
+            return
+        self.share.publish(lemma)
+        self.stats.lemmas_tx += 1
+        if self.tracer.enabled:
+            self.tracer.point("share_tx", kind=lemma.kind)
+
+    def _share_publish_depth(self, depth: int) -> None:
+        """Publish "no counterexample of length ≤ depth", once per frontier.
+
+        Callers guarantee coverage of every length up to ``depth``: engines
+        deepen strictly (each bound refuted in turn), and any skipped or
+        jumped-over bound was covered by the foreign DepthLemma that caused
+        the skip.
+        """
+        if self.share is None or depth <= self._share_published_depth:
+            return
+        self._share_published_depth = depth
+        self._share_publish(DepthLemma(depth))
+
+    def _share_publish_reach(self, bound: int, predicate: int) -> None:
+        """Publish an accumulated-R summary (R ⊇ Reach≤bound) if it fits.
+
+        The cone is serialized structurally down to latch leaves; cones
+        exceeding the node cap — or resting on non-latch leaves, which
+        would indicate an upstream bug — are simply not shared.
+        """
+        if self.share is None or bound < 0:
+            return
+        serialized = serialize_cone(self.aig, predicate)
+        if serialized is None:
+            return
+        leaves, nodes, root = serialized
+        self._share_publish(ReachLemma(bound=bound, leaves=leaves,
+                                       nodes=nodes, root=root))
+
+    def _share_check_disagreement(self, bound: int) -> None:
+        """Retract every foreign import after a searcher/proof-check split.
+
+        Called when the proof-logged check found a model at a bound the
+        share-aware searcher skipped or refuted.  The proof-logged solver
+        saw no foreign clause, so its model is a genuine counterexample and
+        the FAIL verdict stands regardless; the imports — which claimed the
+        bound unreachable — are distrusted wholesale: the dedicated clause
+        group is released (neutralising the clauses and everything learned
+        from them) and all staged foreign facts are dropped.
+        """
+        if self.share is None:
+            return
+        influenced = bound <= self._share_depth or self._share_group is not None
+        if not influenced:
+            return
+        retracted = (len(self._share_frames) + len(self._share_reach)
+                     + (1 if self._share_depth >= 0 else 0))
+        if self._share_group is not None and self._cex_searcher is not None:
+            self._cex_searcher.solver.release_group(self._share_group)
+        self._share_group = None
+        self._share_frames = []
+        self._share_reach = []
+        self._share_depth = -1
+        self._share_distrust = True
+        self.stats.lemmas_retracted += retracted
+        if self.tracer.enabled:
+            self.tracer.point("share_retract", bound=bound, lemmas=retracted)
+        _log.warning("%s: foreign lemmas disagreed with the proof-logged "
+                     "check at bound %d — %d import(s) retracted",
+                     self.name, bound, retracted)
 
     # ------------------------------------------------------------------ #
     # Depth-0 check
@@ -538,6 +872,15 @@ class UmcEngine:
             self.stats.fraig_sat_confirms = self.preprocess.fraig_sat_confirms
         self._cex_searcher = None
         self._fixpoint_checker = None
+        # Foreign-lemma state is per-run (the clause group lived in the
+        # searcher's solver that was just dropped).
+        self._share_group = None
+        self._share_frames = []
+        self._share_reach = []
+        self._share_depth = -1
+        self._share_published_depth = -1
+        self._share_contiguous = 0
+        self._share_distrust = False
         _log.info("%s: run starting on %s", self.name, self.model.name)
         try:
             with self.tracer.span("run", engine=self.name,

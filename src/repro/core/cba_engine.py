@@ -30,6 +30,7 @@ from ..aig.ops import LiteralMapper
 from ..bmc.checks import BmcCheckKind, build_check
 from ..bmc.incremental import IncrementalUnroller
 from ..sat.types import SatResult
+from ..share.lemma import DepthLemma, Lemma
 from .base import OutOfBudget, initial_states_predicate
 from .itpseq_engine import ItpSeqEngine
 from .result import VerificationResult
@@ -43,7 +44,7 @@ class ItpSeqCbaEngine(ItpSeqEngine):
 
     name = "itpseqcba"
 
-    stat_groups = ("solver", "preprocess", "lifecycle", "cba")
+    stat_groups = ("solver", "preprocess", "lifecycle", "cba", "share")
 
     def _run(self) -> VerificationResult:
         # Persistent incremental searchers: one on the current abstract model
@@ -67,7 +68,10 @@ class ItpSeqCbaEngine(ItpSeqEngine):
         init_predicate = initial_states_predicate(self.model)
         columns: Dict[int, int] = {}
 
-        for k in range(1, self.options.max_bound + 1):
+        k = 0
+        while k < self.options.max_bound:
+            self._share_sync(k + 1)
+            k = self._share_advance(k + 1)
             self._current_bound = k
             self._check_budget()
 
@@ -77,6 +81,10 @@ class ItpSeqCbaEngine(ItpSeqEngine):
                     return refined
                 abstraction, proof, unroller = refined
                 self.stats.abstract_latches = abstraction.num_visible
+                # The abstract model over-approximates the concrete one,
+                # so an abstract bound-k refutation is a concrete "no
+                # counterexample up to k" fact — exportable as-is.
+                self._share_publish_depth(k)
 
                 abstract_model = abstraction.abstract_model
                 with self.tracer.span("itp_extract"):
@@ -91,6 +99,27 @@ class ItpSeqCbaEngine(ItpSeqEngine):
                 return outcome
         return self._unknown(self.options.max_bound,
                              "bound limit reached without convergence")
+
+    # ------------------------------------------------------------------ #
+    # Import policy
+    # ------------------------------------------------------------------ #
+    def _share_apply(self, lemma: Lemma) -> bool:
+        """CBA imports nothing conservatively, depth facts aggressively.
+
+        This engine never runs the base counterexample searcher: failures
+        are found on the abstract model and concretised through the EXTEND
+        unroller, whose refutations drive refinement choices.  Installing
+        foreign clauses there would perturb UNSAT cores — and with them
+        which latches get refined — so the conservative mode (which must
+        reproduce the solo trajectory exactly) accepts nothing.  In
+        aggressive mode a foreign depth frontier only steers the outer
+        bound (the paper's loop never re-proves smaller bounds, so any
+        sound starting bound is admissible).
+        """
+        if isinstance(lemma, DepthLemma) and self.options.share_aggressive:
+            self._share_depth = max(self._share_depth, lemma.depth)
+            return True
+        return False
 
     # ------------------------------------------------------------------ #
     # Abstraction-refinement loop for one bound
@@ -131,6 +160,9 @@ class ItpSeqCbaEngine(ItpSeqEngine):
         incremental = self.options.incremental_cex_search
         while True:
             self._check_budget()
+            # One refinement iteration per cooperative turn — an entire
+            # abstract-check/EXTEND/REFINE cascade is several solver calls.
+            self._share_yield()
             abstract_model = abstraction.abstract_model
             abstract_trace = None
             if incremental:

@@ -34,6 +34,12 @@ class ItpEngine(UmcEngine):
 
     name = "itp"
 
+    #: Standard interpolation converges fastest from *small* bounds (the
+    #: whole point of Fig. 1: k=1 often suffices, and the interpolant
+    #: refinement loop gets costlier as the unrolling grows) — jumping the
+    #: outer bound to a foreign frontier was measured to only ever hurt.
+    _share_jumps = False
+
     def _run(self) -> VerificationResult:
         trace = self._depth_zero_trace()
         if trace is not None:
@@ -41,7 +47,13 @@ class ItpEngine(UmcEngine):
 
         init_predicate = initial_states_predicate(self.model)
 
-        for k in range(1, self.options.max_bound + 1):
+        k = 0
+        while k < self.options.max_bound:
+            # Bound boundary: the replayable import point, and (in
+            # aggressive mode) where a foreign depth frontier can advance
+            # the next attempted bound.
+            self._share_sync(k + 1)
+            k = self._share_advance(k + 1)
             self._current_bound = k
             self._check_budget()
             with self._bound_span(k):
@@ -67,6 +79,7 @@ class ItpEngine(UmcEngine):
         if trace is not None:
             return self._fail(k, trace)
 
+        self._share_yield()
         # Build the proof-logged bound-k check on a fresh solver.  After an
         # UNSAT incremental search the solve is guaranteed UNSAT and runs
         # only to record the labelled refutation interpolation needs (see
@@ -76,8 +89,15 @@ class ItpEngine(UmcEngine):
             unroller = self._build_check(k, init_formula=None)
             sat = self._solve(unroller.solver) is SatResult.SAT
         if sat:
+            # The proof-logged bound check saw no foreign clause, so its
+            # counterexample is genuine; any imports that skipped or
+            # steered the incremental search past it get retracted.
             depth = self._failure_depth(unroller, k)
+            self._share_check_disagreement(depth)
             return self._fail(depth, unroller.extract_trace(depth))
+        # The bound-k check forbids a failure at any frame 1..k, so its
+        # refutation is exactly a "no counterexample up to k" fact.
+        self._share_publish_depth(k)
 
         reached = init_predicate  # R_{j-1}
         current_init = None       # interpolant used as the next initial states
@@ -85,6 +105,10 @@ class ItpEngine(UmcEngine):
         j = 0
         while True:
             j += 1
+            # One refinement step per cooperative turn: without this the
+            # whole inner loop (often the entire run, at k=1) would occupy
+            # a single turnstile turn and starve the progress clock.
+            self._share_yield()
             proof = self._reduced_proof(unroller.solver)
             with self.tracer.span("itp_extract"):
                 cut_map = unroller.cut_var_map(1)
@@ -103,7 +127,11 @@ class ItpEngine(UmcEngine):
                 sat = self._solve(unroller.solver) is SatResult.SAT
             if sat:
                 # Spurious (the initial set is an over-approximation): retry
-                # with a longer unrolling.
+                # with a longer unrolling.  ``reached`` = S₀ ∨ I₁ ∨ … ∨ Iⱼ
+                # over-approximates the states reachable within j steps
+                # (each interpolant is a one-step image over-approximation
+                # of its predecessor), so share it before abandoning it.
+                self._share_publish_reach(j, reached)
                 return None
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,14 @@ class ItpSeqEngine(UmcEngine):
 
     name = "itpseq"
 
+    #: Under the exact-/assume-k formulations only the *diagonal* sequence
+    #: element of a bound excludes failure-distance-0 states, so a jumped
+    #: ladder leaves candidates no certification can rescue
+    #: (:meth:`UmcEngine._share_certify_invariant` measured 0 successes
+    #: after jumps) while every later bound costs more than the skipped
+    #: ones — sequence engines keep their own ladder.
+    _share_jumps = False
+
     def _run(self) -> VerificationResult:
         trace = self._depth_zero_trace()
         if trace is not None:
@@ -43,7 +51,13 @@ class ItpSeqEngine(UmcEngine):
         init_predicate = initial_states_predicate(self.model)
         columns: Dict[int, int] = {}
 
-        for k in range(1, self.options.max_bound + 1):
+        k = 0
+        while k < self.options.max_bound:
+            # Lemma exchange happens at the bound boundary (the replay key);
+            # in aggressive mode a foreign depth frontier can then bump the
+            # bound the engine attempts next past its own schedule.
+            self._share_sync(k + 1)
+            k = self._share_advance(k + 1)
             self._current_bound = k
             self._check_budget()
 
@@ -55,13 +69,24 @@ class ItpSeqEngine(UmcEngine):
                 if trace is not None:
                     return self._fail(k, trace)
 
+                # Search, refutation and extraction are separate cooperative
+                # turns: one bound as a single turn overshoots the
+                # turnstile's progress clock on small instances.
+                self._share_yield()
                 with self.tracer.span("refutation"):
                     unroller = build_check(self.options.bmc_check, self.model,
                                            k, proof_logging=True)
                     sat = self._solve(unroller.solver) is SatResult.SAT
                 if sat:
+                    # The proof-logged solver saw no foreign clause: its
+                    # model is a genuine counterexample.  If the share-aware
+                    # search skipped or refuted this bound, the imports were
+                    # wrong — retract them (the verdict stands either way).
+                    self._share_check_disagreement(k)
                     return self._fail(k, unroller.extract_trace(k))
+                self._share_publish_depth(k)
 
+                self._share_yield()
                 proof = self._reduced_proof(unroller.solver)
                 with self.tracer.span("itp_extract"):
                     cut_maps = {j: unroller.cut_var_map(j)
@@ -104,11 +129,26 @@ class ItpSeqEngine(UmcEngine):
             + list(elements[1:k + 1]))
         reached = init_predicate  # R_{j-1}
         for j in range(1, k):
+            # One column check per cooperative turn (same rationale as the
+            # itp engine's per-refinement yield: keep turns solver-sized).
+            self._share_yield()
             columns[j] = self.aig.add_and(columns.get(j, TRUE), elements[j])
-            if self._implies(columns[j], reached):
+            # Containment first (so solo/conservative solve sequences are
+            # untouched); a gated column then re-certifies the candidate
+            # from first principles instead of trusting skipped diagonals.
+            if self._implies(columns[j], reached) and (
+                    self._share_fixpoint_allowed(j)
+                    or self._share_certify_invariant(reached)):
                 return self._pass(k, j)
             reached = self.aig.op_or(reached, columns[j])
         columns[k] = elements[k]
-        if self._implies(columns[k], reached):
+        if self._implies(columns[k], reached) and (
+                self._share_fixpoint_allowed(k)
+                or self._share_certify_invariant(reached)):
             return self._pass(k, k)
+        # No fixpoint at this bound: ``reached`` = S₀ ∨ ℐ₁ ∨ … ∨ ℐₖ₋₁ is a
+        # sound over-approximation of the states reachable within k-1 steps
+        # — exactly the R summary a foreign PDR worker can prune proof
+        # obligations against.
+        self._share_publish_reach(k - 1, reached)
         return None

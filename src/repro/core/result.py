@@ -35,8 +35,11 @@ STAT_GROUPS: Dict[str, tuple] = {
     "lifecycle": ("itp_extractions", "itp_nodes", "containment_checks",
                   "proof_nodes_trimmed", "itp_ands_compacted",
                   "fixpoint_encodings_reused", "fixpoint_groups_shed"),
-    "pdr": ("blocked_cubes", "clauses_pushed"),
+    "pdr": ("blocked_cubes", "clauses_pushed", "pdr_cubes_compacted",
+            "pdr_obligations_pruned"),
     "cba": ("refinements", "abstract_latches"),
+    "share": ("lemmas_tx", "lemmas_rx", "lemmas_retracted",
+              "share_solves_skipped"),
 }
 
 
@@ -117,6 +120,12 @@ class EngineStats:
     itp_ands_compacted: int = 0
     fixpoint_encodings_reused: int = 0
     fixpoint_groups_shed: int = 0
+    pdr_cubes_compacted: int = 0
+    pdr_obligations_pruned: int = 0
+    lemmas_tx: int = 0
+    lemmas_rx: int = 0
+    lemmas_retracted: int = 0
+    share_solves_skipped: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -144,6 +153,12 @@ class EngineStats:
             "itp_ands_compacted": self.itp_ands_compacted,
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
             "fixpoint_groups_shed": self.fixpoint_groups_shed,
+            "pdr_cubes_compacted": self.pdr_cubes_compacted,
+            "pdr_obligations_pruned": self.pdr_obligations_pruned,
+            "lemmas_tx": self.lemmas_tx,
+            "lemmas_rx": self.lemmas_rx,
+            "lemmas_retracted": self.lemmas_retracted,
+            "share_solves_skipped": self.share_solves_skipped,
         }
 
     def grouped(self, groups=None) -> "Dict[str, Dict[str, float]]":

@@ -78,6 +78,10 @@ def compute_serial_sequence(
     # Serial elements 2..n_serial: one SAT call each on a shortened unrolling
     # whose frame 0 is constrained to the previous element (Eq. (3)).
     for j in range(2, n_serial + 1):
+        # One serial step per cooperative turn: a bound's whole chain of
+        # k+1 proof-logged solves in a single turn would overshoot the
+        # turnstile's progress clock by an entire bound.
+        engine._share_yield()
         suffix_depth = k - j + 1
         unroller = _build_suffix_check(engine, model, elements[j - 1], suffix_depth)
         result = engine._solve(unroller.solver)
@@ -94,6 +98,7 @@ def compute_serial_sequence(
     # Remaining elements n_serial+1 .. k: parallel extraction from one more
     # refutation of I_{n_serial} ∧ Γ_{n_serial+1..n}.
     if n_serial < k:
+        engine._share_yield()
         suffix_depth = k - n_serial
         unroller = _build_suffix_check(engine, model, elements[n_serial], suffix_depth)
         result = engine._solve(unroller.solver)
@@ -148,7 +153,12 @@ class SerialItpSeqEngine(ItpSeqEngine):
         init_predicate = initial_states_predicate(self.model)
         columns: Dict[int, int] = {}
 
-        for k in range(1, self.options.max_bound + 1):
+        k = 0
+        while k < self.options.max_bound:
+            # Same bound-boundary lemma exchange as the parallel engine
+            # (see ItpSeqEngine._run).
+            self._share_sync(k + 1)
+            k = self._share_advance(k + 1)
             self._current_bound = k
             self._check_budget()
 
@@ -160,13 +170,21 @@ class SerialItpSeqEngine(ItpSeqEngine):
                 if trace is not None:
                     return self._fail(k, trace)
 
+                # Separate turns for search / refutation / extraction, as in
+                # the parallel engine.
+                self._share_yield()
                 with self.tracer.span("refutation"):
                     unroller = build_check(self.options.bmc_check, self.model,
                                            k, proof_logging=True)
                     sat = self._solve(unroller.solver) is SatResult.SAT
                 if sat:
+                    # Lemma-free proof-logged check is authoritative; see
+                    # ItpSeqEngine._run.
+                    self._share_check_disagreement(k)
                     return self._fail(k, unroller.extract_trace(k))
+                self._share_publish_depth(k)
 
+                self._share_yield()
                 proof = self._reduced_proof(unroller.solver)
                 with self.tracer.span("itp_extract"):
                     elements = compute_serial_sequence(self, self.model, k,

@@ -67,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         action="store_false", default=True,
                         help="skip the preprocessing-off runs (halves the "
                              "matrix; drops the on/off identity check)")
+    parser.add_argument("--share-race-every", type=int, default=0,
+                        metavar="N",
+                        help="every Nth seed also runs the cooperative "
+                             "shared race (aggressive lemma sharing, all "
+                             "six engines) on the base model and asserts "
+                             "the planted verdict (default: 0 = off)")
     parser.add_argument("--list-mutators", action="store_true",
                         help="list the registered mutators and exit")
     return parser
@@ -88,6 +94,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--iterations must be at least 1")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = all cores)")
+    if args.share_race_every < 0:
+        parser.error("--share-race-every must be >= 0 (0 = off)")
 
     mutators = tuple(MUTATORS)
     if args.mutators is not None:
@@ -102,7 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         max_bound=args.max_bound, bmc_depth=args.bmc_depth,
                         shrink=args.shrink,
                         check_no_preprocess=args.check_no_preprocess,
-                        bundle_dir=args.bundle_dir)
+                        bundle_dir=args.bundle_dir,
+                        share_race_every=args.share_race_every)
     report = run_fuzz(config)
     sys.stdout.write(render_summary(report))
     if report.problems:

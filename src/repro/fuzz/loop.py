@@ -88,6 +88,14 @@ class FuzzConfig:
     shrink_checks: int = 48
     #: Where repro bundles are written (``None`` disables bundles).
     bundle_dir: Optional[str] = None
+    #: Every Nth seed additionally runs the deterministic cooperative
+    #: shared race (:func:`repro.share.coop.cooperative_race`, aggressive
+    #: lemma sharing, all six engines) on the *base* model and asserts the
+    #: planted verdict — and, on FAIL, the planted depth, since honest
+    #: lemmas can only skip refuted bounds, never hide the first failing
+    #: one.  ``0`` (the default) disables the mode; the nightly lane runs
+    #: a subset because a race costs several solo runs per seed.
+    share_race_every: int = 0
 
 
 @dataclass(frozen=True)
@@ -245,6 +253,52 @@ def _check_identity(records: Sequence[RunRecord], seed: int, variant: str,
                 f"preprocess on fails at {on.depth} vs off at {off.depth}"))
 
 
+def _run_share_race(base: Model, params: FuzzParams, config: FuzzConfig,
+                    problems: List[Problem]) -> VariantReport:
+    """Run the cooperative shared race on the base model; check the verdict.
+
+    Aggressive sharing may change *which* engine answers and how much work
+    the race does, but never the answer: every lemma on the bus came from
+    an engine running the same model, so it is honest, the race must still
+    report the planted verdict, and a FAIL still lands on the planted
+    depth (an honest ``DepthLemma`` only covers bounds strictly below the
+    first failing one).
+    """
+    from ..share.coop import cooperative_race  # deferred: rarely needed
+
+    seed = params.seed
+    try:
+        options = EngineOptions(max_bound=config.max_bound,
+                                max_clauses=config.max_clauses,
+                                max_propagations=config.max_propagations)
+        outcome = cooperative_race(base, options=options, share=True,
+                                   aggressive=True)
+    except Exception as exc:  # noqa: BLE001 - a crash is a finding
+        problems.append(Problem(seed, "share-race", "race", "error",
+                                f"cooperative race crashed: "
+                                f"{type(exc).__name__}: {exc}"))
+        return VariantReport("share-race",
+                             (RunRecord("race", True, "error", None),))
+    result = outcome.result
+    if result is None:
+        problems.append(Problem(seed, "share-race", "race", "unsolved",
+                                "cooperative race: no engine solved"))
+        return VariantReport("share-race",
+                             (RunRecord("race", True, "unknown", None),))
+    record = RunRecord("race", True, result.verdict.value, result.k_fp)
+    if record.verdict != params.expected:
+        problems.append(Problem(
+            seed, "share-race", "race", "verdict",
+            f"winner {outcome.winner}: got {record.verdict}, "
+            f"planted {params.expected}"))
+    elif params.expected == "fail" and record.depth != params.expected_depth:
+        problems.append(Problem(
+            seed, "share-race", "race", "depth",
+            f"winner {outcome.winner}: failed at {record.depth}, "
+            f"planted depth {params.expected_depth}"))
+    return VariantReport("share-race", (record,))
+
+
 # --------------------------------------------------------------------- #
 # Shrinking predicate: internal disagreement, sound under surgery
 # --------------------------------------------------------------------- #
@@ -340,13 +394,19 @@ def _fuzz_one_seed(task: Tuple[int, FuzzConfig]) -> SeedReport:
         _check_identity(records, seed, variant, problems)
         reports.append(VariantReport(variant, tuple(records)))
 
+    if config.share_race_every and seed % config.share_race_every == 0:
+        reports.append(_run_share_race(base, params, config, problems))
+
     bundle = shrunk_note = None
     if problems:
-        failing_name = problems[0].variant
+        # The shared race is not a solo front-end: its problems bundle the
+        # base model but cannot drive the solo re-run shrink predicate.
+        solo = [p for p in problems if p.engine != "race"]
+        failing_name = solo[0].variant if solo else "base"
         failing = next((v, m) for v, m, _ in variants if v == failing_name)
         shrunk = None
-        if config.shrink:
-            shrunk = _shrink_failing_variant(failing[1], problems, config)
+        if config.shrink and solo:
+            shrunk = _shrink_failing_variant(failing[1], solo, config)
             before, after = failing[1].stats(), shrunk.stats()
             shrunk_note = (f"{before['latches']}FF/{before['ands']}AND -> "
                            f"{after['latches']}FF/{after['ands']}AND")

@@ -1,0 +1,171 @@
+"""Import-side lemma validation.
+
+A foreign lemma is installed into a solver only after three checks, all
+deterministic and none of them costing a single SAT clause:
+
+1. **Fingerprint** — the bus-wide model fingerprint must match the
+   importing engine's reduced model (checked once at attach time;
+   see :func:`repro.share.lemma.model_fingerprint`).
+2. **Syntax / initiation** — a :class:`FrameLemma` must name latch
+   variables of the model and must exclude every initial state (a cube
+   consistent with S₀ claims an initial state unreachable — instantly
+   false); a :class:`ReachLemma` must deserialize into a well-formed cone
+   over latch leaves.
+3. **Simulation refutation** — a capped number of seeded bit-parallel
+   simulation rounds from reset (:func:`repro.aig.simulate.random_stimulus_rounds`,
+   64 lanes per round) actively tries to *refute* the lemma: a reachable
+   state inside a frame cube, a bad state at or below a claimed safe
+   depth, or a reachable state outside an R summary all reject the lemma.
+
+Rejection is cheap and silent by design: sharing is an optimisation, so a
+suspect lemma is simply not imported (the ``lemmas_retracted`` counter and
+a ``share_reject`` trace point record it).  Validation is deliberately
+*deterministic* — same seed, same rounds, same verdict on any machine —
+so replayed runs accept exactly what the original run accepted.
+
+Validation is defence in depth, not the soundness story: even a malicious
+lemma that survives it can only flip the proof-free counterexample
+searcher from SAT to UNSAT, and every engine then runs its proof-logged
+check, whose SAT answer produces the genuine counterexample regardless
+(and triggers retraction of every foreign clause group — see
+:meth:`repro.core.base.UmcEngine._share_disagreement`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..aig.model import Model
+from ..aig.simulate import lit_value, random_stimulus_rounds
+from .lemma import DepthLemma, FrameLemma, Lemma, ReachLemma
+
+__all__ = ["ImportValidator", "SIM_VALIDATION_STEPS", "SIM_VALIDATION_WIDTH"]
+
+#: Simulation-refutation caps: rounds simulated from reset and lanes per
+#: round.  Deterministic (fixed seed 0) and machine-independent.
+SIM_VALIDATION_STEPS = 24
+SIM_VALIDATION_WIDTH = 64
+
+_MASK = (1 << SIM_VALIDATION_WIDTH) - 1
+
+
+class ImportValidator:
+    """Per-engine validator for foreign lemmas over one reduced model."""
+
+    def __init__(self, model: Model, steps: int = SIM_VALIDATION_STEPS,
+                 width: int = SIM_VALIDATION_WIDTH, seed: int = 0) -> None:
+        self.model = model
+        self.steps = steps
+        self.width = width
+        self.seed = seed
+        self._mask = (1 << width) - 1
+        self._latch_vars = set(model.latch_vars)
+        self._init_cube = model.initial_cube().as_dict()
+        self._rounds: Optional[List[Dict[int, int]]] = None
+
+    def prepare(self) -> None:
+        """Precompute the simulation rounds (call while the AIG is pristine:
+        engines grow their private AIGs with interpolant cones later, and
+        simulating those would be pure waste)."""
+        if self._rounds is None:
+            # steps + 1 value maps: states at times 0..steps inclusive.
+            self._rounds = random_stimulus_rounds(
+                self.model.aig, self.steps + 1, width=self.width,
+                seed=self.seed)
+
+    @property
+    def rounds(self) -> List[Dict[int, int]]:
+        self.prepare()
+        assert self._rounds is not None
+        return self._rounds
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def reject_reason(self, lemma: Lemma) -> Optional[str]:
+        """``None`` when the lemma survives validation, else a reason."""
+        if isinstance(lemma, DepthLemma):
+            return self._check_depth(lemma)
+        if isinstance(lemma, FrameLemma):
+            return self._check_frame(lemma)
+        if isinstance(lemma, ReachLemma):
+            return self._check_reach(lemma)
+        return f"unknown lemma type {type(lemma).__name__}"
+
+    # ------------------------------------------------------------------ #
+    # Per-kind checks
+    # ------------------------------------------------------------------ #
+    def _check_depth(self, lemma: DepthLemma) -> Optional[str]:
+        if lemma.depth < 0:
+            return "negative depth"
+        bad = self.model.bad_literal
+        horizon = min(lemma.depth, self.steps)
+        for time, values in enumerate(self.rounds[:horizon + 1]):
+            if lit_value(values, bad, self.width):
+                return f"bad state simulated at depth {time} <= {lemma.depth}"
+        return None
+
+    def _check_frame(self, lemma: FrameLemma) -> Optional[str]:
+        if lemma.level < 0:
+            return "negative frame level"
+        if not lemma.cube:
+            return "empty cube claims no state is reachable"
+        seen = set()
+        for var, _value in lemma.cube:
+            if var not in self._latch_vars:
+                return f"cube names non-latch variable {var}"
+            if var in seen:
+                return f"cube repeats variable {var}"
+            seen.add(var)
+        # Initiation: a cube consistent with S₀ contains an initial state,
+        # which is trivially reachable in 0 <= level steps.
+        if all(self._init_cube.get(var, value) == value
+               for var, value in lemma.cube):
+            return "cube intersects the initial states"
+        horizon = min(lemma.level, self.steps)
+        for time, values in enumerate(self.rounds[:horizon + 1]):
+            hit = self._mask
+            for var, value in lemma.cube:
+                word = values[var]
+                hit &= word if value else (~word & self._mask)
+                if not hit:
+                    break
+            if hit:
+                return (f"cube simulated reachable at depth {time} "
+                        f"<= {lemma.level}")
+        return None
+
+    def _check_reach(self, lemma: ReachLemma) -> Optional[str]:
+        if lemma.bound < 0:
+            return "negative bound"
+        for var in lemma.leaves:
+            if var not in self._latch_vars:
+                return f"cone leaf {var} is not a latch variable"
+        limit = 1 + len(lemma.leaves)
+        for position, (a, b) in enumerate(lemma.nodes):
+            if a // 2 >= limit + position or b // 2 >= limit + position:
+                return "cone node references a later node"
+        if lemma.root // 2 >= limit + len(lemma.nodes):
+            return "cone root out of range"
+        # R must contain every state reachable within the bound: all lanes
+        # of every simulated round at times <= bound must satisfy it.
+        horizon = min(lemma.bound, self.steps)
+        for time, values in enumerate(self.rounds[:horizon + 1]):
+            if self._eval_cone(lemma, values) != self._mask:
+                return (f"reachable state at depth {time} <= {lemma.bound} "
+                        f"falls outside R")
+        return None
+
+    def _eval_cone(self, lemma: ReachLemma, values: Dict[int, int]) -> int:
+        mask = self._mask
+        words: List[int] = [0]
+        for leaf in lemma.leaves:
+            words.append(values[leaf] & mask)
+
+        def word_of(local: int) -> int:
+            word = words[local // 2]
+            return (~word & mask) if local % 2 else word
+
+        for a, b in lemma.nodes:
+            words.append(word_of(a) & word_of(b))
+        return word_of(lemma.root)

@@ -1,0 +1,36 @@
+"""Cube normalisation (`compact_cube_literals`): the PDR frame gate."""
+
+from repro.itp.compact import CubeCompaction, compact_cube_literals
+
+
+def test_duplicates_merge_and_sort():
+    compaction = compact_cube_literals([(6, True), (2, False), (6, True)])
+    assert not compaction.vacuous
+    assert compaction.pairs == ((2, False), (6, True))
+    assert compaction.removed == 1
+
+
+def test_complementary_pair_is_vacuous():
+    compaction = compact_cube_literals([(2, True), (3, True), (2, False)])
+    assert compaction.vacuous
+    assert compaction.pairs is None
+    assert compaction.removed == 3
+
+
+def test_orderings_normalise_identically():
+    a = compact_cube_literals([(4, True), (1, False)])
+    b = compact_cube_literals([(1, False), (4, True)])
+    assert a.pairs == b.pairs
+    assert a.removed == b.removed == 0
+
+
+def test_truthy_polarities_coerce_to_bool():
+    compaction = compact_cube_literals([(2, 1), (3, 0)])
+    assert compaction.pairs == ((2, True), (3, False))
+
+
+def test_empty_cube_is_not_vacuous():
+    # An empty conjunction is TRUE (the whole state space), not FALSE:
+    # callers must treat it separately, but it is not the empty set.
+    compaction = compact_cube_literals([])
+    assert compaction == CubeCompaction(pairs=(), removed=0)

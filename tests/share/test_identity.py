@@ -1,0 +1,84 @@
+"""Conservative sharing is answer-preserving — the headline guarantee.
+
+Three legs per instance, for every engine in the portfolio plus bmc:
+
+* **solo** — the engine runs exactly as before sharing existed;
+* **cooperative** — a conservative (``aggressive=False``) run-all race,
+  where foreign lemmas may skip proof-free counterexample searches but
+  never touch a proof-logged solve;
+* **replay** — each engine re-run alone against the race's share log
+  (``ReplayShareBus``), the artefact-regeneration path.
+
+Verdict, ``k_fp`` and ``j_fp`` must be identical across all three on the
+quick and redundant suites.  This is the test that pins "sharing defaults
+to free speedup, never a different answer".
+"""
+
+import pytest
+
+from repro.bmc.engine import BmcEngine
+from repro.circuits.suite import quick_suite, redundant_suite
+from repro.core import EngineOptions
+from repro.core.portfolio import ENGINES, run_engine
+from repro.share import cooperative_race
+from repro.share.bus import ReplayShareBus
+from repro.share.log import read_share_log
+
+MAX_BOUND = 20
+
+ALL_ENGINES = sorted(ENGINES) + ["bmc"]
+
+_INSTANCES = {inst.name: inst for inst in quick_suite() + redundant_suite()}
+
+
+def _options():
+    return EngineOptions(max_bound=MAX_BOUND, time_limit=None,
+                         max_clauses=2_000_000,
+                         max_propagations=50_000_000)
+
+
+def _solo(name, model):
+    if name == "bmc":
+        raw = BmcEngine(model).run(max_depth=MAX_BOUND)
+        return (raw.status, raw.depth if raw.status == "fail"
+                else raw.checked_depth)
+    result = run_engine(name, model, options=_options())
+    return (result.verdict.value, result.k_fp, result.j_fp)
+
+
+def _replayed(name, model, bus):
+    port = bus.port(name)
+    if name == "bmc":
+        raw = BmcEngine(model, share=port).run(max_depth=MAX_BOUND)
+        return (raw.status, raw.depth if raw.status == "fail"
+                else raw.checked_depth)
+    result = run_engine(name, model, options=_options(), share=port)
+    return (result.verdict.value, result.k_fp, result.j_fp)
+
+
+def _from_race(name, result):
+    if name == "bmc":
+        # Invert _adapt_bmc: UNKNOWN carries no_cex/checked_depth.
+        if result.verdict.value == "fail":
+            return ("fail", result.k_fp)
+        return ("no_cex", result.k_fp)
+    return (result.verdict.value, result.k_fp, result.j_fp)
+
+
+@pytest.mark.parametrize("name", sorted(_INSTANCES))
+def test_conservative_share_identity(name, tmp_path):
+    instance = _INSTANCES[name]
+    log_path = tmp_path / "share.jsonl"
+    outcome = cooperative_race(instance.build(), options=_options(),
+                               aggressive=False, first_result_wins=False,
+                               log_path=str(log_path))
+    bus = ReplayShareBus(read_share_log(str(log_path)))
+    for engine in ALL_ENGINES:
+        solo = _solo(engine, instance.build())
+        raced = _from_race(engine, outcome.results[engine])
+        replayed = _replayed(engine, instance.build(), bus)
+        assert raced == solo, (name, engine, raced, solo)
+        assert replayed == solo, (name, engine, replayed, solo)
+        # The suite's planted ground truth holds wherever the engine solved.
+        if engine != "bmc" and solo[0] in ("pass", "fail"):
+            assert solo[0] == instance.expected, (name, engine)

@@ -260,3 +260,42 @@ def test_verbose_flag_logs_to_stderr(safe_aag, capsys):
     assert "DEBUG" in debug.err
     # Verbosity is stderr-only: stdout stays byte-identical.
     assert info.out == quiet.out
+
+
+def test_share_flag_combinations_are_validated(safe_aag, tmp_path, capsys):
+    log = str(tmp_path / "lemmas.jsonl")
+    assert main([safe_aag, "--engine", "portfolio", "--share"]) == 3
+    assert "requires --race" in capsys.readouterr().err
+    assert main([safe_aag, "--engine", "portfolio", "--race",
+                 "--share-log", log]) == 3
+    assert "requires --share" in capsys.readouterr().err
+    assert main([safe_aag, "--engine", "portfolio", "--race", "--share",
+                 "--share-replay", log]) == 3
+    assert "conflicts" in capsys.readouterr().err
+    assert main([safe_aag, "--engine", "itpseq",
+                 "--share-aggressive"]) == 3
+    assert "requires --share" in capsys.readouterr().err
+
+
+def test_shared_race_records_replayable_log(safe_aag, tmp_path, capsys):
+    from repro.share.log import read_share_log
+
+    log = str(tmp_path / "lemmas.jsonl")
+    assert main([safe_aag, "--engine", "portfolio", "--race", "--share",
+                 "--share-log", log, "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "share" in out              # the sharing counter group printed
+    data = read_share_log(log)
+    assert data.fingerprint is not None
+
+    # The recorded log re-drives a single engine deterministically.
+    assert main([safe_aag, "--engine", "itpseq",
+                 "--share-replay", log, "--stats"]) == 0
+    assert "share" in capsys.readouterr().out
+
+
+def test_no_share_race_prints_no_share_group(safe_aag, capsys):
+    assert main([safe_aag, "--engine", "portfolio", "--race",
+                 "--no-share", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "lemmas_tx" not in out
