@@ -10,7 +10,11 @@ Two acceptance claims are asserted here:
 
 * on ``red_dup10`` — three duplicated matchers too wide for the rewriter's
   flattening window, the instance the pass exists for — fraiging removes
-  **at least 40%** of the clause additions;
+  **at least 25%** of the clause additions (originally >= 40%, measured
+  when every bound paid a monolithic proof-logged re-encode; group-aware
+  proof logging deleted that re-solve, so a large share of fraig's former
+  savings no longer exists to be saved — the measured reduction on the
+  remaining encoding work is ~34%);
 * on *no* instance does enabling fraig cost more than **5%** extra clause
   additions (the sweep is allowed to be useless, never harmful).
 
@@ -76,7 +80,7 @@ def test_fraig_reduction_artifact(benchmark, save_artifact):
     by_name = {row[0]: row for row in rows}
     # The headline claim: the wide duplicated matchers only fraig can merge.
     dup10 = by_name["red_dup10"]
-    assert dup10[7] <= 0.6 * dup10[6], (dup10[6], dup10[7])
+    assert dup10[7] <= 0.75 * dup10[6], (dup10[6], dup10[7])
     assert dup10[5] >= 6                       # all three copies collapse
     # The no-harm claim: nowhere does the sweep cost >5% extra clauses.
     for name, row in by_name.items():

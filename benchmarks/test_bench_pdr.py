@@ -2,11 +2,19 @@
 
 IC3/PDR and the interpolation engines split the same proof work in
 opposite ways.  The interpolation engines ask a few *deep* questions:
-every outer bound re-encodes a length-k unrolling, so their clause
-additions dominate and single calls carry the conflict peaks.  PDR asks
-thousands of *shallow* questions over one copy of the transition relation
-on one persistent solver: clause work stays proportional to the frame
-contents, and no individual query is ever hard.
+clause additions grow with the unrolling depth and single calls carry
+the conflict peaks.  PDR asks thousands of *shallow* questions over one
+copy of the transition relation on one persistent solver: clause work
+stays proportional to the frame contents, and no individual query is
+ever hard.
+
+The margins below were re-measured after group-aware proof logging:
+interpolation used to pay a second, monolithic proof-logged re-encode of
+the whole unrolling at every refuted bound, which the stripped-refutation
+path deleted.  The deep questions are now asked once each, so the
+PDR-vs-interpolation clause gap narrowed everywhere (arb05 itp fell to
+~1.96x PDR, indA1_ring12 itpseq from >10x to ~3.2x) while its direction
+is unchanged.
 
 The numbers are asserted on the :class:`~repro.sat.types.SolverStats`
 counters (clauses added, conflicts, SAT calls), not wall clock — the same
@@ -86,9 +94,12 @@ def test_pdr_trades_deep_queries_for_shallow_ones(benchmark, save_artifact,
     pdr = results["pdr"].stats
     for other_name in ("itp", "itpseq"):
         other = results[other_name].stats
-        # Unrolling-free: PDR's total clause work stays a small fraction of
-        # any engine that re-encodes the transition relation per bound.
-        assert pdr.clauses_added * 2 < other.clauses_added, (
+        # Unrolling-free: PDR's total clause work stays well under any
+        # engine that encodes a length-k unrolling.  1.5x, not the old 2x:
+        # group-aware proof logging removed interpolation's per-bound
+        # refutation re-solve, and the tightest cell (arb05/itp) now sits
+        # at ~1.96x.
+        assert pdr.clauses_added * 1.5 < other.clauses_added, (
             name, other_name, pdr.clauses_added, other.clauses_added)
     # Shallow queries: no single call is ever hard — the per-call conflict
     # peak stays tiny even on the deep-diameter instances.  (The flip side,
@@ -101,10 +112,13 @@ def test_pdr_clause_work_tracks_frames_not_depth_squared(save_artifact):
     """Frame clauses, not unrollings: solver clause count ~ live clauses.
 
     On the ring family the proof depth doubles from ring06 to
-    indA1_ring12; ITPSEQ's clause additions grow ~quadratically with the
-    unrolling depth while PDR's grow with the frame contents.  The ratio
-    between the two families' growth factors is the measurable form of
-    "per-query clause work proportional to the delta".
+    indA1_ring12; ITPSEQ's clause additions grow with the unrolling depth
+    while PDR's grow with the frame contents.  The ratio between the two
+    families' growth factors is the measurable form of "per-query clause
+    work proportional to the delta".  (Before group-aware proof logging
+    ITPSEQ's growth here was ~quadratic — every refuted bound re-encoded
+    the full unrolling for the proof-logged re-solve; with that re-solve
+    gone the growth factors sit much closer, but PDR's stays smaller.)
     """
     rows = []
     growth = {}
@@ -124,10 +138,12 @@ def test_pdr_clause_work_tracks_frames_not_depth_squared(save_artifact):
     assert growth["pdr"] < growth["itpseq"], growth
     # The deep proof is where the many-shallow-calls trade actually shows:
     # PDR spends far more (trivial) calls than ITPSEQ spends bounds, yet
-    # an order of magnitude fewer clauses.
+    # several times fewer clauses.  2x, not the old 10x: group-aware
+    # proof logging deleted ITPSEQ's per-bound refutation re-solve, so
+    # its ring12 clause total fell ~5x and the measured gap is now ~3.2x.
     assert deep_results["pdr"].stats.sat_calls > \
         deep_results["itpseq"].stats.sat_calls
-    assert deep_results["pdr"].stats.clauses_added * 10 < \
+    assert deep_results["pdr"].stats.clauses_added * 2 < \
         deep_results["itpseq"].stats.clauses_added
 
 

@@ -130,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         action="store_false", default=True,
                         help="skip structural compaction of freshly "
                              "extracted interpolant cones")
+    parser.add_argument("--no-group-proof", dest="group_proof",
+                        action="store_false", default=True,
+                        help="re-solve each refuted bound on a fresh "
+                             "proof-logged solver instead of reusing the "
+                             "incremental search's refutation (stripped of "
+                             "activation literals) for interpolation")
     parser.add_argument("--no-incremental-fixpoint",
                         dest="fixpoint_incremental",
                         action="store_false", default=True,
@@ -317,6 +323,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                             proof_reduce=args.proof_reduce,
                             itp_compact=args.itp_compact,
                             fixpoint_incremental=args.fixpoint_incremental,
+                            group_proof=args.group_proof,
                             share_aggressive=args.share_aggressive)
     tracer = None
     if args.events is not None and not args.race:

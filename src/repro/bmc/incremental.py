@@ -31,19 +31,31 @@ produce, at every depth, a formula *identical* to the monolithic builder's
   depth under the activation group (the cones themselves are cached by the
   frame encoders, so only one clause is new).
 
-Proof logging is deliberately unsupported: resolution proofs must refute
-the monolithic formula (activation literals would appear in every derived
-clause and break interpolant extraction), which is why the engines keep
-their refutation path on fresh proof-logging solvers and use this class
-only for counterexample search.  See :mod:`repro.core.base`.
+With ``proof_logging=True`` the searcher doubles as the **proof-logged
+refutation check**: every permanent clause is labelled with the same
+Γ-partition index the monolithic builders use (S₀ and T(V⁰,V¹) → 1,
+T(Vᶠ,Vᶠ⁺¹), frame-``f`` constraints and assume-mode p(Vᶠ) → ``f+1``, the
+depth-``d`` target → ``d+1``), the depth target's clause group is recorded
+with its group tag, and after an UNSAT :meth:`solve` the
+:meth:`refutation` method strips the activation literals from the recorded
+trace (:func:`repro.sat.proof.strip_activations`) to produce a genuine
+labelled refutation of the monolithic S₀ ∧ Tᵏ ∧ B — the object
+interpolation consumes, without a second solve.  Clauses learned at
+earlier depths re-enter later refutations as derived chains over
+permanent clauses; only a chain that depends on a *released* target group
+is unusable, in which case :meth:`refutation` raises
+:class:`~repro.sat.proof.ActivationDependencyError` and the caller falls
+back to a fresh monolithic solve (see :mod:`repro.core.base`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..aig.model import Model
-from ..sat.solver import CdclSolver
+from ..sat.proof import (ActivationStripStats, ResolutionProof,
+                         strip_activations)
+from ..sat.solver import CdclSolver, SolverError
 from ..sat.types import Budget, SatResult, SolverStats
 from .cex import Trace
 from .checks import BmcCheckKind
@@ -74,22 +86,29 @@ class IncrementalUnroller:
 
     def __init__(self, model: Model,
                  check_kind: BmcCheckKind = BmcCheckKind.ASSUME,
-                 solver: Optional[CdclSolver] = None) -> None:
+                 solver: Optional[CdclSolver] = None,
+                 proof_logging: bool = False) -> None:
         if solver is None:
-            solver = CdclSolver(proof_logging=False)
-        if solver.proof_logging:
-            raise ValueError(
-                "incremental unrolling is incompatible with proof logging; "
-                "use repro.bmc.checks.build_check for refutation proofs")
+            solver = CdclSolver(proof_logging=proof_logging)
+        elif proof_logging and not solver.proof_logging:
+            raise ValueError("proof_logging requested but the supplied solver "
+                             "does not record proofs")
         self.model = model
+        self.proof_logging = solver.proof_logging
         self.check_kind = check_kind
         self.solver = solver
         self.unroller = Unroller(model, solver)
         self.depth = 0
         self._group: Optional[int] = None
-        self.unroller.assert_initial_state(partition=None)
+        # The Γ-partition labels mirror the monolithic builders exactly
+        # (repro.bmc.checks): S₀ and frame-f constraints/properties land in
+        # partition f+1, the transition out of frame f in f+1, the depth-d
+        # target in d+1.  Labels are inert without proof logging, so they
+        # are passed unconditionally — a proof-free searcher behaves
+        # byte-identically to the historical partition=None encoding.
+        self.unroller.assert_initial_state(partition=1)
         if model.constraints:
-            self.unroller.assert_constraints_at(0, partition=None)
+            self.unroller.assert_constraints_at(0, partition=1)
         self._arm()
 
     # ------------------------------------------------------------------ #
@@ -100,15 +119,21 @@ class IncrementalUnroller:
         self._group = self.solver.new_group()
         depth = self.depth
         if self.check_kind is BmcCheckKind.BOUND and depth >= 1:
-            bad_lits = [self.unroller.bad_literal(frame, partition=None)
+            # Bound-mode cones carry their own frame's label (f+1), not the
+            # monolithic builder's k+1: stripped bound-k refutations are
+            # consumed only at cut 1 (standard interpolation), where every
+            # label ≥ 2 is equally on the B side, so the finer labelling is
+            # interchangeable with the monolithic one there.
+            bad_lits = [self.unroller.bad_literal(frame, partition=frame + 1)
                         for frame in range(1, depth + 1)]
-            self.solver.add_clause(bad_lits, group=self._group)
+            self.solver.add_clause(bad_lits, partition=depth + 1,
+                                   group=self._group)
         else:
             # Exact/assume targets — and depth 0 for every kind — assert the
             # bad cone at the last frame only.
             self.solver.add_clause(
-                [self.unroller.bad_literal(depth, partition=None)],
-                group=self._group)
+                [self.unroller.bad_literal(depth, partition=depth + 1)],
+                partition=depth + 1, group=self._group)
 
     def extend(self) -> int:
         """Retract the current target, append one transition frame, re-arm.
@@ -121,12 +146,14 @@ class IncrementalUnroller:
         if self.check_kind is BmcCheckKind.ASSUME and self.depth >= 1:
             # The frame being left behind sits strictly before every future
             # target: its p(Vⁱ) constraint is permanent under bmcᵏ_A.
-            self.unroller.assert_property(self.depth, partition=None)
-        self.unroller.add_transition(self.depth, partition=None,
+            self.unroller.assert_property(self.depth,
+                                          partition=self.depth + 1)
+        self.unroller.add_transition(self.depth, partition=self.depth + 1,
                                      include_constraints=False)
         self.depth += 1
         if self.model.constraints:
-            self.unroller.assert_constraints_at(self.depth, partition=None)
+            self.unroller.assert_constraints_at(self.depth,
+                                                partition=self.depth + 1)
         self._arm()
         return self.depth
 
@@ -153,6 +180,28 @@ class IncrementalUnroller:
     def extract_trace(self) -> Trace:
         """Build the counterexample trace after a SAT answer."""
         return self.unroller.extract_trace(self.depth)
+
+    def refutation(self) -> Tuple[ResolutionProof, ActivationStripStats]:
+        """The activation-free refutation of the current depth's check.
+
+        Valid only after an UNSAT :meth:`solve` on a proof-logging
+        unroller.  Strips the current target group's activation literal
+        from the recorded trace, yielding a labelled refutation of the
+        monolithic S₀ ∧ Tᵏ ∧ B equivalent to what a fresh
+        :func:`repro.bmc.checks.build_check` solve would have produced.
+        Raises :class:`~repro.sat.proof.ActivationDependencyError` when the
+        refutation depends on a released earlier-depth group.
+        """
+        if not self.proof_logging:
+            raise SolverError("refutation() requires proof_logging=True")
+        root = self.solver.last_refutation_root()
+        if root is None:
+            raise SolverError(
+                "no refutation recorded (last answer was not UNSAT)")
+        assert self._group is not None
+        active = {self._group}
+        others = self.solver.group_vars() - active
+        return strip_activations(self.solver.proof(), active, others, root)
 
     @property
     def last_call_stats(self) -> SolverStats:

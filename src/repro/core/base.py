@@ -25,21 +25,41 @@ sequences, sequences + CBA) share:
 * resource accounting (wall-clock budget → *overflow*, per-call conflict
   budgets) and the uniform :class:`VerificationResult` packaging.
 
-Why the refutation path stays on fresh solvers
-----------------------------------------------
+One solve per bound: the search *is* the refutation check
+---------------------------------------------------------
 Interpolant extraction needs a resolution refutation of the *monolithic*
-partition-labelled formula S₀ ∧ Tᵏ ∧ B.  The incremental solver cannot
-provide one: its depth-specific constraints live under activation literals
-that are only *assumed*, so every clause learned from them (and any
-"refutation") carries the activation literal and does not refute the
-caller's formula; worse, clauses learned at earlier bounds would enter the
-proof as axioms with no Γ-partition label, breaking the (A, B) cut.  The
-engines therefore split the work: the **SAT-or-UNSAT question** at each
-bound is answered by the cheap incremental search (which also yields the
-counterexample trace on SAT), and only then is the **proof-logged** check
-built on a fresh solver — its answer is already known to be UNSAT, the
-solve is purely to obtain the labelled refutation that interpolation
-consumes.
+partition-labelled formula S₀ ∧ Tᵏ ∧ B.  Historically the incremental
+search could not provide one — its depth target lives under an assumed
+activation literal, so every learned clause (and the "refutation")
+carried that literal and refuted only the augmented formula — and the
+engines paid **two SAT solves per bound**: the cheap incremental search
+answered SAT-or-UNSAT, then a fresh proof-logging solver re-derived the
+same UNSAT purely for the labelled refutation.
+
+With ``EngineOptions.group_proof`` (the default) the split is gone.  The
+persistent searcher runs with proof logging on and real Γ-partition
+labels (:class:`~repro.bmc.incremental.IncrementalUnroller` labels its
+permanent frames exactly as the monolithic builders do), and on UNSAT
+:func:`repro.sat.proof.strip_activations` deletes the activation
+literals from the recorded trace — sound because activation variables
+are never resolution pivots, so stripping commutes with every recorded
+step.  Clauses learned at earlier bounds enter later refutations as
+derived chains over permanent labelled clauses, exactly the case the old
+design could not label.  The fresh-solver path survives in three roles:
+
+* **fallback** — a stripped chain can depend on a *released* earlier
+  depth's group; :meth:`UmcEngine._group_refutation` then returns
+  ``None`` (counted in ``proof_group_fallbacks``) and the engine builds
+  the monolithic check as before;
+* **reference** — ``--no-group-proof`` restores the two-solve split,
+  and the identity tests pin verdicts and k_fp/j_fp bit-identical
+  on-vs-off;
+* **the checks the searcher cannot express** — serial sequence suffix
+  checks (different initial predicate per step) and CBA's abstract
+  models always build fresh proof-logged solvers.
+
+Group proof is suspended while a share port is attached: foreign clauses
+live in the searcher's solver, and a proof must never rest on them.
 """
 
 from __future__ import annotations
@@ -52,6 +72,7 @@ from ..aig.aig import Aig, lit_is_const, lit_negate
 from ..aig.model import Model
 from ..aig.ops import cone_size
 from ..bmc.cex import Trace
+from ..bmc.checks import BmcCheckKind
 from ..bmc.incremental import IncrementalUnroller
 from ..cnf.cnf import Cnf
 from ..cnf.tseitin import TseitinEncoder
@@ -59,7 +80,7 @@ from ..itp.compact import compact_cone
 from ..obs.tracer import NULL_TRACER, NullTracer
 from ..preprocess.cnfsimp import CnfSimplifyConfig, CnfSimplifyStats, simplify_cnf
 from ..preprocess.passes import PreprocessResult, build_pipeline
-from ..sat.proof import ResolutionProof, reduce_proof
+from ..sat.proof import ActivationDependencyError, ResolutionProof, reduce_proof
 from ..sat.solver import CdclSolver
 from ..sat.types import Budget, SatResult, SolverStats
 from ..share.adapt import ImportValidator
@@ -453,16 +474,15 @@ class UmcEngine:
     # ------------------------------------------------------------------ #
     # Interpolant lifecycle (proof trimming + cone compaction)
     # ------------------------------------------------------------------ #
-    def _reduced_proof(self, solver: CdclSolver) -> ResolutionProof:
-        """The refutation interpolation should extract from.
+    def _trim_proof(self, proof: ResolutionProof) -> ResolutionProof:
+        """Post-process a refutation before interpolant extraction.
 
-        With ``options.proof_reduce`` (the default) the raw trace is
-        post-processed first — core trimming plus the RecyclePivots
-        redundant-pivot pass (:func:`repro.sat.proof.reduce_proof`) — so
-        every extraction replays a smaller derivation DAG.  The node
-        reduction accumulates in ``stats.proof_nodes_trimmed``.
+        With ``options.proof_reduce`` (the default) the trace gets core
+        trimming plus the RecyclePivots redundant-pivot pass
+        (:func:`repro.sat.proof.reduce_proof`), so every extraction
+        replays a smaller derivation DAG.  The node reduction accumulates
+        in ``stats.proof_nodes_trimmed``.
         """
-        proof = solver.proof()
         if not self.options.proof_reduce:
             return proof
         with self.tracer.span("proof_trim"):
@@ -472,6 +492,10 @@ class UmcEngine:
             self.tracer.point("proof_trimmed",
                               nodes=reduction.nodes_trimmed)
         return reduced
+
+    def _reduced_proof(self, solver: CdclSolver) -> ResolutionProof:
+        """The refutation interpolation should extract from (fresh-solver path)."""
+        return self._trim_proof(solver.proof())
 
     def _register_interpolant(self, aig: Aig, itp_lit: int) -> int:
         """Compact (if enabled) and account one freshly extracted interpolant.
@@ -493,12 +517,71 @@ class UmcEngine:
     # ------------------------------------------------------------------ #
     # Incremental counterexample search (shared by every engine)
     # ------------------------------------------------------------------ #
+    def _group_proof_active(self) -> bool:
+        """Whether this run's searcher doubles as the refutation check.
+
+        Requires the incremental search itself, and is suspended for
+        share-attached runs: foreign clauses are asserted in the
+        searcher's solver, and a refutation handed to interpolation must
+        never rest on them (the conservative-sharing contract keeps
+        proofs foreign-free).
+        """
+        return (self.options.group_proof
+                and self.options.incremental_cex_search
+                and self.share is None)
+
+    def _cex_check_kind(self) -> BmcCheckKind:
+        """The check formulation the persistent searcher unrolls."""
+        return self.options.bmc_check
+
     def _cex_search_unroller(self) -> IncrementalUnroller:
-        """The engine's persistent, proof-free BMC search over ``self.model``."""
+        """The engine's persistent BMC search over ``self.model``.
+
+        Proof-free unless the run reuses the search as its proof-logged
+        refutation check (:meth:`_group_proof_active`).
+        """
         if self._cex_searcher is None:
             self._cex_searcher = IncrementalUnroller(
-                self.model, check_kind=self.options.bmc_check)
+                self.model, check_kind=self._cex_check_kind(),
+                proof_logging=self._group_proof_active())
         return self._cex_searcher
+
+    def _group_refutation(self, bound: int) -> Optional[ResolutionProof]:
+        """The trimmed refutation of ``bound`` from the searcher's own trace.
+
+        Valid right after :meth:`_search_counterexample` returned ``None``
+        for ``bound`` on a group-proof run: the searcher's last answer is
+        then the UNSAT this bound's refutation check would re-derive, so
+        its stripped trace (:meth:`IncrementalUnroller.refutation`) *is*
+        the labelled refutation of the monolithic S₀ ∧ Tᵏ ∧ B — and the
+        fresh-solver solve is skipped (``proof_group_solves_saved``).
+
+        Returns ``None`` when the group path is off, the searcher did not
+        actually refute ``bound`` (disabled search, depth mismatch), or
+        stripping rejected the trace because a chain depends on a released
+        earlier-depth group — the caller then falls back to the fresh
+        monolithic proof-logged check (``proof_group_fallbacks``).
+        """
+        if not self._group_proof_active() or self._cex_searcher is None:
+            return None
+        searcher = self._cex_searcher
+        if not searcher.proof_logging or searcher.depth != bound:
+            return None
+        try:
+            with self.tracer.span("proof_strip", bound=bound):
+                proof, strip = searcher.refutation()
+        except ActivationDependencyError:
+            self.stats.proof_group_fallbacks += 1
+            if self.tracer.enabled:
+                self.tracer.point("group_proof_fallback", bound=bound)
+            return None
+        self.stats.proof_group_solves_saved += 1
+        self.stats.proof_chains_stripped += strip.chains_stripped
+        if self.tracer.enabled:
+            self.tracer.point("group_proof", bound=bound,
+                              chains_stripped=strip.chains_stripped,
+                              literals_stripped=strip.literals_stripped)
+        return self._trim_proof(proof)
 
     def _search_counterexample(self, bound: int) -> Optional[Trace]:
         """Look for a counterexample at ``bound`` on the persistent solver.

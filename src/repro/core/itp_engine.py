@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..bmc.checks import build_bound_check
+from ..bmc.checks import BmcCheckKind, build_bound_check
 from ..bmc.unroll import Unroller
 from ..itp.craig import InterpolantBuilder
 from ..sat.types import SatResult
@@ -39,6 +39,15 @@ class ItpEngine(UmcEngine):
     #: refinement loop gets costlier as the unrolling grows) — jumping the
     #: outer bound to a foreign frontier was measured to only ever hurt.
     _share_jumps = False
+
+    def _cex_check_kind(self) -> BmcCheckKind:
+        """Fig. 1 requires bound-k checks; when the searcher doubles as the
+        refutation check (group proof) it must unroll that formulation —
+        otherwise it keeps the cheaper configured search kind, since its
+        answer is then only SAT-or-UNSAT."""
+        if self._group_proof_active():
+            return BmcCheckKind.BOUND
+        return self.options.bmc_check
 
     def _run(self) -> VerificationResult:
         trace = self._depth_zero_trace()
@@ -79,25 +88,32 @@ class ItpEngine(UmcEngine):
         if trace is not None:
             return self._fail(k, trace)
 
-        self._share_yield()
-        # Build the proof-logged bound-k check on a fresh solver.  After an
-        # UNSAT incremental search the solve is guaranteed UNSAT and runs
-        # only to record the labelled refutation interpolation needs (see
-        # repro.core.base); with incremental search disabled it also answers
-        # the SAT-or-UNSAT question.
-        with self.tracer.span("refutation"):
-            unroller = self._build_check(k, init_formula=None)
-            sat = self._solve(unroller.solver) is SatResult.SAT
-        if sat:
-            # The proof-logged bound check saw no foreign clause, so its
-            # counterexample is genuine; any imports that skipped or
-            # steered the incremental search past it get retracted.
-            depth = self._failure_depth(unroller, k)
-            self._share_check_disagreement(depth)
-            return self._fail(depth, unroller.extract_trace(depth))
-        # The bound-k check forbids a failure at any frame 1..k, so its
-        # refutation is exactly a "no counterexample up to k" fact.
-        self._share_publish_depth(k)
+        # On a group-proof run the searcher unrolls bound-k itself
+        # (_cex_check_kind), so its stripped UNSAT trace is the first inner
+        # iteration's refutation and the fresh solve below is skipped; the
+        # rebuilds with interpolant initial states (j ≥ 2) always run fresh.
+        group_proof = self._group_refutation(k)
+        unroller: Optional[Unroller] = None
+        if group_proof is None:
+            self._share_yield()
+            # Build the proof-logged bound-k check on a fresh solver.  After
+            # an UNSAT incremental search the solve is guaranteed UNSAT and
+            # runs only to record the labelled refutation interpolation
+            # needs (see repro.core.base); with incremental search disabled
+            # it also answers the SAT-or-UNSAT question.
+            with self.tracer.span("refutation"):
+                unroller = self._build_check(k, init_formula=None)
+                sat = self._solve(unroller.solver) is SatResult.SAT
+            if sat:
+                # The proof-logged bound check saw no foreign clause, so its
+                # counterexample is genuine; any imports that skipped or
+                # steered the incremental search past it get retracted.
+                depth = self._failure_depth(unroller, k)
+                self._share_check_disagreement(depth)
+                return self._fail(depth, unroller.extract_trace(depth))
+            # The bound-k check forbids a failure at any frame 1..k, so its
+            # refutation is exactly a "no counterexample up to k" fact.
+            self._share_publish_depth(k)
 
         reached = init_predicate  # R_{j-1}
         current_init = None       # interpolant used as the next initial states
@@ -109,9 +125,14 @@ class ItpEngine(UmcEngine):
             # whole inner loop (often the entire run, at k=1) would occupy
             # a single turnstile turn and starve the progress clock.
             self._share_yield()
-            proof = self._reduced_proof(unroller.solver)
-            with self.tracer.span("itp_extract"):
+            if group_proof is not None:
+                proof = group_proof
+                cut_map = self._cex_searcher.unroller.cut_var_map(1)
+                group_proof = None
+            else:
+                proof = self._reduced_proof(unroller.solver)
                 cut_map = unroller.cut_var_map(1)
+            with self.tracer.span("itp_extract"):
                 builder = InterpolantBuilder(self.aig, cut_map,
                                              system=self.options.itp_system)
                 itp = builder.extract(proof, a_partitions=[1])

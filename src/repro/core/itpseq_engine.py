@@ -63,33 +63,41 @@ class ItpSeqEngine(UmcEngine):
 
             with self._bound_span(k):
                 # Counterexample search on the persistent incremental solver;
-                # after an UNSAT answer the fresh proof-logged solve below is
-                # guaranteed UNSAT and exists to record the refutation.
+                # on a group-proof run its UNSAT trace, stripped, *is* the
+                # refutation, and the fresh proof-logged solve is skipped.
                 trace = self._search_counterexample(k)
                 if trace is not None:
                     return self._fail(k, trace)
 
-                # Search, refutation and extraction are separate cooperative
-                # turns: one bound as a single turn overshoots the
-                # turnstile's progress clock on small instances.
-                self._share_yield()
-                with self.tracer.span("refutation"):
-                    unroller = build_check(self.options.bmc_check, self.model,
-                                           k, proof_logging=True)
-                    sat = self._solve(unroller.solver) is SatResult.SAT
-                if sat:
-                    # The proof-logged solver saw no foreign clause: its
-                    # model is a genuine counterexample.  If the share-aware
-                    # search skipped or refuted this bound, the imports were
-                    # wrong — retract them (the verdict stands either way).
-                    self._share_check_disagreement(k)
-                    return self._fail(k, unroller.extract_trace(k))
-                self._share_publish_depth(k)
+                proof = self._group_refutation(k)
+                if proof is not None:
+                    cut_unroller = self._cex_searcher.unroller
+                else:
+                    # Fresh-solver fallback/reference path: search, refutation
+                    # and extraction are separate cooperative turns — one
+                    # bound as a single turn overshoots the turnstile's
+                    # progress clock on small instances.
+                    self._share_yield()
+                    with self.tracer.span("refutation"):
+                        unroller = build_check(self.options.bmc_check,
+                                               self.model, k,
+                                               proof_logging=True)
+                        sat = self._solve(unroller.solver) is SatResult.SAT
+                    if sat:
+                        # The proof-logged solver saw no foreign clause: its
+                        # model is a genuine counterexample.  If the
+                        # share-aware search skipped or refuted this bound,
+                        # the imports were wrong — retract them (the verdict
+                        # stands either way).
+                        self._share_check_disagreement(k)
+                        return self._fail(k, unroller.extract_trace(k))
+                    self._share_publish_depth(k)
 
-                self._share_yield()
-                proof = self._reduced_proof(unroller.solver)
+                    self._share_yield()
+                    proof = self._reduced_proof(unroller.solver)
+                    cut_unroller = unroller
                 with self.tracer.span("itp_extract"):
-                    cut_maps = {j: unroller.cut_var_map(j)
+                    cut_maps = {j: cut_unroller.cut_var_map(j)
                                 for j in range(1, k + 1)}
                     sequence = extract_sequence(proof, k + 1, cut_maps,
                                                 self.aig,

@@ -117,6 +117,20 @@ class EngineOptions:
         accumulated R into a throwaway solver per check.  On by default;
         disabling restores the one-shot path with its size-gated CNF
         simplification.
+    group_proof:
+        Reuse the incremental counterexample search's own UNSAT answer as
+        the proof-logged refutation: the searcher runs with proof logging
+        on, and :func:`repro.sat.proof.strip_activations` turns its
+        recorded trace into an activation-free refutation of the monolithic
+        S₀ ∧ Tᵏ ∧ B — deleting the fresh-solver re-solve per bound.  The
+        fresh-solver path remains as automatic fallback (when a stripped
+        chain depends on a released earlier-depth group) and stays the only
+        path for checks the persistent searcher cannot express (serial
+        sequence suffixes, CBA abstract models).  Requires
+        ``incremental_cex_search`` and is suspended while a share port is
+        attached (foreign clauses must never enter a proof).  On by
+        default; disable with ``--no-group-proof`` to restore the
+        two-solves-per-bound split.
     share_aggressive:
         When the engine is attached to a share bus, let foreign lemmas
         change its *search trajectory*, not just skip already-answered
@@ -164,6 +178,7 @@ class EngineOptions:
     proof_reduce: bool = True
     itp_compact: bool = True
     fixpoint_incremental: bool = True
+    group_proof: bool = True
     share_aggressive: bool = False
     share_pdr_import: bool = False
     pdr_cube_compact: bool = True

@@ -34,7 +34,9 @@ STAT_GROUPS: Dict[str, tuple] = {
                    "fraig_classes", "fraig_merges", "fraig_sat_confirms"),
     "lifecycle": ("itp_extractions", "itp_nodes", "containment_checks",
                   "proof_nodes_trimmed", "itp_ands_compacted",
-                  "fixpoint_encodings_reused", "fixpoint_groups_shed"),
+                  "fixpoint_encodings_reused", "fixpoint_groups_shed",
+                  "proof_group_solves_saved", "proof_chains_stripped",
+                  "proof_group_fallbacks"),
     "pdr": ("blocked_cubes", "clauses_pushed", "pdr_cubes_compacted",
             "pdr_obligations_pruned"),
     "cba": ("refinements", "abstract_latches"),
@@ -94,6 +96,17 @@ class EngineStats:
     the sequence engines shed, so it stays 0 elsewhere.  They stay 0 with
     the corresponding ``EngineOptions`` toggles off, and for the PDR/BMC
     engines.
+
+    The group-proof counters measure the one-solve-per-bound path
+    (``EngineOptions.group_proof``): ``proof_group_solves_saved`` — bounds
+    whose refutation came from the incremental searcher's stripped trace
+    instead of a fresh monolithic re-solve (each one is a whole SAT solve
+    that never happened); ``proof_chains_stripped`` — derived chains an
+    activation literal was deleted from across those refutations
+    (:func:`repro.sat.proof.strip_activations`); and
+    ``proof_group_fallbacks`` — bounds where stripping was rejected (a
+    chain depended on a released earlier-depth group) and the engine fell
+    back to the fresh-solver reference path.
     """
 
     sat_calls: int = 0
@@ -120,6 +133,9 @@ class EngineStats:
     itp_ands_compacted: int = 0
     fixpoint_encodings_reused: int = 0
     fixpoint_groups_shed: int = 0
+    proof_group_solves_saved: int = 0
+    proof_chains_stripped: int = 0
+    proof_group_fallbacks: int = 0
     pdr_cubes_compacted: int = 0
     pdr_obligations_pruned: int = 0
     lemmas_tx: int = 0
@@ -153,6 +169,9 @@ class EngineStats:
             "itp_ands_compacted": self.itp_ands_compacted,
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
             "fixpoint_groups_shed": self.fixpoint_groups_shed,
+            "proof_group_solves_saved": self.proof_group_solves_saved,
+            "proof_chains_stripped": self.proof_chains_stripped,
+            "proof_group_fallbacks": self.proof_group_fallbacks,
             "pdr_cubes_compacted": self.pdr_cubes_compacted,
             "pdr_obligations_pruned": self.pdr_obligations_pruned,
             "lemmas_tx": self.lemmas_tx,

@@ -163,32 +163,39 @@ class SerialItpSeqEngine(ItpSeqEngine):
             self._check_budget()
 
             with self._bound_span(k):
-                # Incremental counterexample search first; after its UNSAT the
-                # proof-logged check only runs to record the refutation
+                # Incremental counterexample search first; on a group-proof
+                # run its stripped UNSAT trace seeds the serial chain, so
+                # only the suffix checks of Fig. 4 build fresh solvers
                 # (base.py).
                 trace = self._search_counterexample(k)
                 if trace is not None:
                     return self._fail(k, trace)
 
-                # Separate turns for search / refutation / extraction, as in
-                # the parallel engine.
-                self._share_yield()
-                with self.tracer.span("refutation"):
-                    unroller = build_check(self.options.bmc_check, self.model,
-                                           k, proof_logging=True)
-                    sat = self._solve(unroller.solver) is SatResult.SAT
-                if sat:
-                    # Lemma-free proof-logged check is authoritative; see
-                    # ItpSeqEngine._run.
-                    self._share_check_disagreement(k)
-                    return self._fail(k, unroller.extract_trace(k))
-                self._share_publish_depth(k)
+                proof = self._group_refutation(k)
+                if proof is not None:
+                    cut_unroller = self._cex_searcher.unroller
+                else:
+                    # Separate turns for search / refutation / extraction, as
+                    # in the parallel engine.
+                    self._share_yield()
+                    with self.tracer.span("refutation"):
+                        unroller = build_check(self.options.bmc_check,
+                                               self.model, k,
+                                               proof_logging=True)
+                        sat = self._solve(unroller.solver) is SatResult.SAT
+                    if sat:
+                        # Lemma-free proof-logged check is authoritative; see
+                        # ItpSeqEngine._run.
+                        self._share_check_disagreement(k)
+                        return self._fail(k, unroller.extract_trace(k))
+                    self._share_publish_depth(k)
 
-                self._share_yield()
-                proof = self._reduced_proof(unroller.solver)
+                    self._share_yield()
+                    proof = self._reduced_proof(unroller.solver)
+                    cut_unroller = unroller
                 with self.tracer.span("itp_extract"):
                     elements = compute_serial_sequence(self, self.model, k,
-                                                       proof, unroller)
+                                                       proof, cut_unroller)
                 outcome = self._update_columns(columns, elements, k,
                                                init_predicate)
             if outcome is not None:

@@ -73,8 +73,11 @@ def fig6_summary(records: Iterable[InstanceRecord],
     plus the total AND gates preprocessing removed across the population
     (0 on preprocessing-off runs), the nodes the SAT-sweeping pass merged,
     the cone-gate encodings the persistent fixpoint checker served from
-    its cache, and the clause groups it shed as superseded (0 for engines
-    without containment checks or with the lifecycle off).
+    its cache, the clause groups it shed as superseded (0 for engines
+    without containment checks or with the lifecycle off), and the fresh
+    per-bound refutation solves group-aware proof logging deleted (0 with
+    ``--no-group-proof`` or for engines that never reuse the searcher's
+    refutation).
     """
     records = list(records)
     rows: List[List[object]] = []
@@ -92,7 +95,8 @@ def fig6_summary(records: Iterable[InstanceRecord],
                      sum(r.pre_ands_removed for r in engine_records),
                      sum(r.fraig_merges for r in engine_records),
                      sum(r.fixpoint_encodings_reused for r in engine_records),
-                     sum(r.fixpoint_groups_shed for r in engine_records)])
+                     sum(r.fixpoint_groups_shed for r in engine_records),
+                     sum(r.proof_group_solves_saved for r in engine_records)])
     return rows
 
 
@@ -137,7 +141,8 @@ def render_fig6(records: Iterable[InstanceRecord],
     summary_headers = ["engine", "instances", "solved", "time(solved)",
                        "time(total)", "clauses_added", "max_call_conflicts",
                        "pre_ands_removed", "fraig_merges",
-                       "fixpoint_reused", "fixpoint_shed"]
+                       "fixpoint_reused", "fixpoint_shed",
+                       "group_solves_saved"]
     summary_rows = fig6_summary(records, engines)
     if deterministic:
         summary_headers, summary_rows = drop_time_columns(summary_headers,

@@ -33,7 +33,11 @@ class EngineRecord:
     ``fixpoint_encodings_reused`` / ``fixpoint_groups_shed``) record what
     proof trimming, cone compaction and the persistent containment
     checker saved or retracted; zero for the non-interpolation engines or
-    with the lifecycle toggles off.
+    with the lifecycle toggles off.  The ``proof_group_*`` columns count
+    what group-aware proof logging did: per-bound fresh refutation solves
+    it deleted, activation-stripped chains, and fallbacks to the fresh
+    path (zero with ``--no-group-proof`` or for engines that never reuse
+    the searcher's refutation).
     """
 
     engine: str
@@ -60,6 +64,9 @@ class EngineRecord:
     itp_ands_compacted: int = 0
     fixpoint_encodings_reused: int = 0
     fixpoint_groups_shed: int = 0
+    proof_group_solves_saved: int = 0
+    proof_chains_stripped: int = 0
+    proof_group_fallbacks: int = 0
 
     @staticmethod
     def from_result(result: VerificationResult) -> "EngineRecord":
@@ -88,6 +95,9 @@ class EngineRecord:
             itp_ands_compacted=result.stats.itp_ands_compacted,
             fixpoint_encodings_reused=result.stats.fixpoint_encodings_reused,
             fixpoint_groups_shed=result.stats.fixpoint_groups_shed,
+            proof_group_solves_saved=result.stats.proof_group_solves_saved,
+            proof_chains_stripped=result.stats.proof_chains_stripped,
+            proof_group_fallbacks=result.stats.proof_group_fallbacks,
         )
 
     @property
@@ -120,6 +130,9 @@ class EngineRecord:
             "itp_ands_compacted": self.itp_ands_compacted,
             "fixpoint_encodings_reused": self.fixpoint_encodings_reused,
             "fixpoint_groups_shed": self.fixpoint_groups_shed,
+            "proof_group_solves_saved": self.proof_group_solves_saved,
+            "proof_chains_stripped": self.proof_chains_stripped,
+            "proof_group_fallbacks": self.proof_group_fallbacks,
         }
 
     def as_deterministic_dict(self) -> Dict[str, object]:

@@ -1,7 +1,9 @@
 """SAT subsystem: proof-logging CDCL solver, resolution proofs, reference oracles."""
 
 from .checker import brute_force_sat, dpll_sat, verify_model
-from .proof import ProofError, ProofNode, ResolutionProof, check_proof
+from .proof import (ActivationDependencyError, ActivationStripStats,
+                    ProofError, ProofNode, ResolutionProof, check_proof,
+                    strip_activations)
 from .solver import CdclSolver, SolverError
 from .types import Budget, BudgetExceeded, SatResult, SolverStats
 
@@ -9,10 +11,13 @@ __all__ = [
     "brute_force_sat",
     "dpll_sat",
     "verify_model",
+    "ActivationDependencyError",
+    "ActivationStripStats",
     "ProofError",
     "ProofNode",
     "ResolutionProof",
     "check_proof",
+    "strip_activations",
     "CdclSolver",
     "SolverError",
     "Budget",

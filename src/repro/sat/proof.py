@@ -16,6 +16,27 @@ key property the paper exploits (Section II-C, Eq. (2)).
 The module also contains an independent proof checker used by the
 test-suite: it re-performs every resolution step with the slow-but-obvious
 :meth:`Clause.resolve` and confirms the final clause is empty.
+
+Activation-literal clause groups and proofs
+-------------------------------------------
+A proof recorded on an *incremental* solver (activation-literal clause
+groups, :meth:`repro.sat.solver.CdclSolver.new_group`) is a refutation of
+the formula *under the assumed activation literals*, not of the caller's
+formula: every clause of a group ``g`` carries the literal ``-g``, and so
+does every derived clause that transitively used one.  The key structural
+fact that makes such proofs salvageable is **literal-presence provenance**:
+no clause ever contains the *positive* activation literal ``+g`` (grouped
+input clauses only append ``-g``, and learned clauses inherit literals from
+input clauses), so no resolution step ever pivots on an activation
+variable, and a derived clause depends on group ``g`` exactly when ``-g``
+appears among its literals.  :func:`strip_activations` exploits this:
+deleting the active groups' ``-g`` literals from every clause commutes with
+every recorded resolution step (the pivot is never ``g``), so the chains
+replay unchanged and the stripped proof is a genuine refutation of the
+caller's formula.  Clauses carrying a *released* (or foreign) group's
+literal cannot be repaired that way — their group clauses are gone from
+the formula — so a core that touches one is rejected with
+:class:`ActivationDependencyError`, the clean fallback signal.
 """
 
 from __future__ import annotations
@@ -25,12 +46,26 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..cnf.cnf import Clause
 
-__all__ = ["ProofNode", "ResolutionProof", "ProofError", "check_proof",
-           "ProofReductionStats", "reduce_proof"]
+__all__ = ["ProofNode", "ResolutionProof", "ProofError",
+           "ActivationDependencyError", "check_proof",
+           "ProofReductionStats", "reduce_proof",
+           "ActivationStripStats", "strip_activations"]
 
 
 class ProofError(ValueError):
     """Raised when a recorded proof fails validation."""
+
+
+class ActivationDependencyError(ProofError):
+    """A refutation core depends on a released (or foreign) clause group.
+
+    Raised by :func:`strip_activations` when the derivation of the root
+    clause uses a clause whose activation group is no longer active: the
+    group's input clauses are not part of the caller's formula any more, so
+    no activation-free refutation can be reconstructed from this trace.
+    Callers treat this as the clean signal to fall back to a fresh
+    monolithic proof-logged solve.
+    """
 
 
 @dataclass
@@ -48,6 +83,11 @@ class ProofNode:
     chain: List[Tuple[Optional[int], int]] = field(default_factory=list)
     #: Partition label for original clauses (``None`` for derived clauses).
     partition: Optional[int] = None
+    #: Activation group of an original clause (``None`` for ungrouped
+    #: clauses and for derived clauses).  Derived clauses need no explicit
+    #: tag: their group provenance is the presence of ``-g`` among their
+    #: literals (see the module docstring).
+    group: Optional[int] = None
 
     @property
     def is_original(self) -> bool:
@@ -76,11 +116,19 @@ class ResolutionProof:
     # Construction (called by the solver)
     # ------------------------------------------------------------------ #
     def add_original(self, clause_id: int, clause: Clause,
-                     partition: Optional[int] = None) -> None:
-        """Register an original (input) clause."""
+                     partition: Optional[int] = None,
+                     group: Optional[int] = None) -> None:
+        """Register an original (input) clause.
+
+        ``group`` records the activation-literal group the clause belongs
+        to, when the solver added it under one — the bookkeeping
+        :func:`strip_activations` uses to tell a group's defining clauses
+        apart from permanent ones.
+        """
         if clause_id in self._nodes:
             raise ProofError(f"duplicate clause id {clause_id}")
-        self._nodes[clause_id] = ProofNode(clause_id, clause, [], partition)
+        self._nodes[clause_id] = ProofNode(clause_id, clause, [], partition,
+                                           group)
         self._order.append(clause_id)
 
     def add_derived(self, clause_id: int, clause: Clause,
@@ -428,7 +476,8 @@ def reduce_proof(proof: ResolutionProof, recycle_pivots: bool = True
 
     reduced = ResolutionProof()
     for node in proof.original_nodes():
-        reduced.add_original(node.clause_id, node.clause, node.partition)
+        reduced.add_original(node.clause_id, node.clause, node.partition,
+                             node.group)
     for node in derived_core:
         cid = node.clause_id
         if cid in needed:
@@ -437,6 +486,137 @@ def reduce_proof(proof: ResolutionProof, recycle_pivots: bool = True
         raise ProofError("proof reduction failed to preserve the refutation")
     stats.nodes_after = len(reduced)
     return reduced, stats
+
+
+# --------------------------------------------------------------------- #
+# Activation-literal stripping (group-aware proofs)
+# --------------------------------------------------------------------- #
+@dataclass
+class ActivationStripStats:
+    """What :func:`strip_activations` did to a grouped refutation.
+
+    ``chains_stripped`` is the headline counter threaded into the engines'
+    statistics: how many derived clauses carried at least one active
+    activation literal that the strip removed.
+    """
+
+    nodes_before: int = 0
+    nodes_after: int = 0
+    chains_stripped: int = 0
+    literals_stripped: int = 0
+    originals_dropped: int = 0
+
+
+def strip_activations(proof: ResolutionProof, active_groups: Set[int],
+                      other_groups: Set[int] = frozenset(),
+                      root_id: Optional[int] = None
+                      ) -> Tuple[ResolutionProof, ActivationStripStats]:
+    """Turn a grouped refutation into an activation-free one.
+
+    ``proof`` is the raw trace of an incremental solver whose UNSAT answer
+    was obtained under the assumptions ``{g : g in active_groups}`` —
+    either a recorded empty clause or (the usual incremental case) a
+    final-conflict clause over negated activation literals, identified by
+    ``root_id`` (default: the recorded empty clause).
+
+    The transformation relies on literal-presence provenance (module
+    docstring): activation variables are never resolution pivots, so
+    deleting every active group's ``-g`` literal from every clause commutes
+    with each recorded resolution step, and the chains are kept verbatim.
+    Concretely:
+
+    * original clauses of an *active* group lose their ``-g`` literal and
+      keep their partition label — they become exactly the caller-level
+      clauses (e.g. the depth target of a BMC check);
+    * every other original clause is kept untouched, label included, even
+      off-core: interpolation classifies variable locality over the full
+      (A, B) clause sets, exactly the rationale of :func:`reduce_proof`;
+    * original clauses of *released or foreign* groups — including the
+      ``[-g]`` release units a retraction asserts — are dropped when they
+      sit outside the root's core and rejected with
+      :class:`ActivationDependencyError` when inside it (their group is no
+      longer part of the caller's formula);
+    * derived clauses outside the core are dropped; derived clauses inside
+      it lose the active ``-g`` literals.  A core clause still carrying a
+      released/foreign group's literal, a positive activation literal, or
+      an activation-variable pivot is rejected — each would falsify the
+      provenance invariant the strip is built on;
+    * the root clause must strip to the empty clause (its literals are all
+      negated active-group literals), completing the refutation.
+
+    Returns the stripped proof and an :class:`ActivationStripStats`.
+    """
+    if root_id is None:
+        root_id = proof.empty_clause_id
+    if root_id is None:
+        raise ProofError("no refutation root to strip")
+    if root_id not in proof:
+        raise ProofError(f"unknown refutation root {root_id}")
+    active = set(active_groups)
+    others = set(other_groups) - active
+    strip_lits = {-g for g in active}
+    stats = ActivationStripStats(nodes_before=len(proof))
+    core = set(proof.core_ids(root_id))
+
+    def is_release_unit(node: ProofNode) -> bool:
+        lits = node.clause.literals
+        return (node.group is None and len(lits) == 1
+                and -lits[0] in others | active)
+
+    stripped = ResolutionProof()
+    for node in proof.nodes_in_order():
+        cid = node.clause_id
+        if node.is_original:
+            if node.group in others or is_release_unit(node):
+                if cid in core:
+                    raise ActivationDependencyError(
+                        f"core clause {cid} belongs to released/foreign "
+                        f"group {node.group}")
+                stats.originals_dropped += 1
+                continue
+            if node.group in active:
+                lits = [l for l in node.clause.literals
+                        if l not in strip_lits]
+                stats.literals_stripped += len(node.clause) - len(lits)
+                stripped.add_original(cid, Clause(lits), node.partition)
+            else:
+                stripped.add_original(cid, node.clause, node.partition)
+            continue
+        if cid not in core:
+            continue
+        for pivot, _ in node.chain:
+            if pivot in active or pivot in others:
+                raise ActivationDependencyError(
+                    f"core clause {cid} resolves on activation variable "
+                    f"{pivot}")
+        lits = []
+        for lit in node.clause.literals:
+            if lit in strip_lits:
+                continue
+            var = abs(lit)
+            if var in others:
+                raise ActivationDependencyError(
+                    f"core clause {cid} depends on released/foreign "
+                    f"group {var}")
+            if var in active:
+                # +g: no clause may ever contain a positive activation
+                # literal (provenance invariant).
+                raise ActivationDependencyError(
+                    f"core clause {cid} carries positive activation "
+                    f"literal {lit}")
+            lits.append(lit)
+        if len(lits) < len(node.clause):
+            stats.chains_stripped += 1
+            stats.literals_stripped += len(node.clause) - len(lits)
+        if cid == root_id and lits:
+            raise ProofError(
+                f"refutation root {cid} strips to non-empty clause "
+                f"{sorted(lits)}")
+        stripped.add_derived(cid, Clause(lits), node.chain)
+    if not stripped.is_refutation():
+        raise ProofError("activation stripping failed to produce a refutation")
+    stats.nodes_after = len(stripped)
+    return stripped, stats
 
 
 def check_proof(proof: ResolutionProof, require_refutation: bool = True) -> None:

@@ -19,9 +19,16 @@ scratch.  It implements the standard modern CDCL loop:
   :class:`~repro.sat.types.SolverStats` snapshot in
   :attr:`~CdclSolver.last_call_stats`;
 * optional *resolution proof recording* (:class:`~repro.sat.proof.ResolutionProof`),
-  the feature interpolation requires.  Proof logging is incompatible with
-  clause groups: a recorded refutation must be over the monolithic formula,
-  activation literals would leak into every derived clause.
+  the feature interpolation requires — and it composes with clause groups:
+  grouped clauses are recorded with their activation literal, partition
+  label and group tag, an UNSAT answer under assumptions records a
+  *final-conflict chain* resolving down to a clause of negated assumption
+  literals (:meth:`~CdclSolver.last_refutation_root`), and
+  :func:`repro.sat.proof.strip_activations` then removes the active
+  groups' literals to yield a genuine refutation of the caller's formula.
+  Chains that depend on a *released* group cannot be repaired and raise
+  :class:`~repro.sat.proof.ActivationDependencyError` — callers fall back
+  to a fresh monolithic solve (see :mod:`repro.core.base`).
 
 Performance note: a pure-Python CDCL is roughly two to three orders of
 magnitude slower than MiniSAT.  The engines therefore run on down-scaled
@@ -73,7 +80,9 @@ class CdclSolver:
     proof_logging:
         When ``True`` every clause addition and every learned clause is
         recorded in a :class:`ResolutionProof`, available through
-        :meth:`proof` after an UNSAT answer obtained *without assumptions*.
+        :meth:`proof` after an UNSAT answer.  Under assumptions the trace
+        roots at a final-conflict clause (:meth:`last_refutation_root`)
+        instead of the empty clause; see :meth:`proof`.
     """
 
     def __init__(self, proof_logging: bool = False) -> None:
@@ -110,9 +119,15 @@ class CdclSolver:
         self._model: Optional[Dict[int, bool]] = None
         self._conflict_assumptions: Optional[List[int]] = None
         self._last_result: Optional[SatResult] = None
+        #: Proof id of the last UNSAT answer's root clause (see
+        #: :meth:`last_refutation_root`).
+        self._refutation_root: Optional[int] = None
 
         #: Clause groups: activation variable -> clause records of the group.
         self._groups: Dict[int, List[_ClauseRec]] = {}
+        #: Every activation variable ever handed out (released ones stay:
+        #: strip_activations must know which variables to reject chains on).
+        self._group_vars: Set[int] = set()
         #: Counters attributable to the most recent :meth:`solve` call
         #: (including any clauses added since the preceding call ended).
         self.last_call_stats = SolverStats()
@@ -181,7 +196,7 @@ class CdclSolver:
         cid = self._next_cid
         self._next_cid += 1
         if self._proof is not None:
-            self._proof.add_original(cid, Clause(lits), partition)
+            self._proof.add_original(cid, Clause(lits), partition, group)
 
         # Tautologies are recorded (for proof completeness) but never watched.
         if any(-lit in lits for lit in lits):
@@ -244,14 +259,16 @@ class CdclSolver:
 
         Clauses added with ``group=handle`` get ``-handle`` appended, so they
         only bind when :meth:`solve` is passed ``handle`` among its
-        assumptions (see :meth:`group_literal`).  Incompatible with proof
-        logging: activation literals would appear in every derived clause and
-        the recorded "refutation" would not refute the caller's formula.
+        assumptions (see :meth:`group_literal`).  With proof logging on,
+        grouped clauses are recorded with their group tag and the activation
+        literals of the still-active groups can later be stripped from the
+        recorded trace (:func:`repro.sat.proof.strip_activations`), turning
+        an UNSAT-under-assumptions answer into a genuine refutation of the
+        caller's formula.
         """
-        if self.proof_logging:
-            raise SolverError("clause groups are incompatible with proof logging")
         var = self.new_var()
         self._groups[var] = []
+        self._group_vars.add(var)
         return var
 
     def group_literal(self, group: int) -> int:
@@ -276,6 +293,19 @@ class CdclSolver:
         for rec in recs:
             rec.deleted = True
         self.add_clause([-group])
+
+    def group_vars(self) -> Set[int]:
+        """Every activation variable ever allocated, released ones included.
+
+        :func:`repro.sat.proof.strip_activations` takes the complement of
+        the assumed groups within this set as the variables a valid core
+        must never touch.
+        """
+        return set(self._group_vars)
+
+    def active_groups(self) -> Set[int]:
+        """The activation variables of the currently open (unreleased) groups."""
+        return set(self._groups)
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -308,12 +338,15 @@ class CdclSolver:
                     budget: Optional[Budget]) -> SatResult:
         self._model = None
         self._conflict_assumptions = None
+        self._refutation_root = None
         budget = budget or Budget()
         start = time.monotonic()
 
         if not self._ok:
             self._last_result = SatResult.UNSAT
             self._conflict_assumptions = []
+            if self._proof is not None:
+                self._refutation_root = self._proof.empty_clause_id
             return SatResult.UNSAT
 
         # Top-level propagation of everything pending.
@@ -356,13 +389,34 @@ class CdclSolver:
         return list(self._conflict_assumptions)
 
     def proof(self) -> ResolutionProof:
-        """Return the recorded refutation after an assumption-free UNSAT answer."""
+        """Return the recorded proof after an UNSAT answer.
+
+        After an assumption-free UNSAT answer the proof is a refutation
+        (it derives the empty clause).  After UNSAT *under assumptions*
+        the recorded trace instead ends in a final-conflict clause over
+        negated assumption literals — its id is
+        :meth:`last_refutation_root` — and callers solving on
+        activation-literal clause groups turn it into a genuine refutation
+        with :func:`repro.sat.proof.strip_activations`.
+        """
         if self._proof is None:
             raise SolverError("proof logging is disabled")
-        if not self._proof.is_refutation():
-            raise SolverError("no refutation recorded (formula not proved UNSAT "
-                              "without assumptions)")
+        if not self._proof.is_refutation() and self._refutation_root is None:
+            raise SolverError("no refutation recorded (last answer was not "
+                              "a proof-logged UNSAT)")
         return self._proof
+
+    def last_refutation_root(self) -> Optional[int]:
+        """Proof id of the clause that roots the last UNSAT answer's derivation.
+
+        The empty clause for assumption-free answers; the final-conflict
+        clause (every literal a negated assumption) for answers under
+        assumptions.  ``None`` when the last answer was not UNSAT, when
+        proof logging is off, or when the inconsistency lay among the
+        assumption literals themselves (two complementary assumptions) —
+        no input-clause derivation exists in that case.
+        """
+        return self._refutation_root
 
     # ------------------------------------------------------------------ #
     # CDCL core
@@ -416,6 +470,9 @@ class CdclSolver:
                     continue
                 if value == 0:
                     self._conflict_assumptions = self._analyze_final(lit, assumptions)
+                    # Recorded before _backtrack(0) wipes the reasons; reads
+                    # the trail only, so the search trajectory is untouched.
+                    self._record_assumption_refutation(lit, assumptions)
                     return SatResult.UNSAT
                 self._new_decision_level()
                 self._enqueue(lit, None)
@@ -585,6 +642,55 @@ class CdclSolver:
                     queue.append(abs(other))
         return sorted(conflict_set, key=abs)
 
+    def _record_assumption_refutation(self, failed_lit: int,
+                                      assumptions: List[int]) -> None:
+        """Record the final-conflict chain of an UNSAT-under-assumptions answer.
+
+        Called when extending the assumptions found ``failed_lit`` already
+        falsified.  Starting from its falsifying reason, every falsified
+        literal that is not a negated assumption is resolved against its own
+        reason (latest-assigned first, so each step only introduces literals
+        assigned earlier), terminating in a clause whose literals are all
+        negated assumptions — the assumption-level analogue of the empty
+        clause, and the root :func:`repro.sat.proof.strip_activations`
+        reduces to the empty clause when the assumptions are activation
+        literals.  The walk only reads the trail and the reasons, so
+        recording never perturbs the search trajectory.
+        """
+        if self._proof is None:
+            return
+        reason = self._reason[abs(failed_lit)]
+        if reason is None:
+            # The complement of ``failed_lit`` is itself an assumption
+            # decision: the inconsistency lies among the assumption literals,
+            # not the clauses — there is no input-clause derivation.
+            return
+        assumption_set = set(assumptions)
+        position = {abs(lit): i for i, lit in enumerate(self._trail)}
+        chain: List[Tuple[Optional[int], int]] = [(None, reason.cid)]
+        current: Set[int] = set(reason.lits)
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - defensive
+                raise SolverError("runaway assumption-conflict analysis")
+            pending = [lit for lit in current if -lit not in assumption_set]
+            if not pending:
+                break
+            lit = max(pending, key=lambda l: position[abs(l)])
+            var = abs(lit)
+            lit_reason = self._reason[var]
+            if lit_reason is None:  # pragma: no cover - defensive
+                raise SolverError(f"falsified literal {lit} has no reason "
+                                  "in the final conflict")
+            chain.append((var, lit_reason.cid))
+            current.discard(lit)
+            current |= {other for other in lit_reason.lits if abs(other) != var}
+        cid = self._next_cid
+        self._next_cid += 1
+        self._proof.add_derived(cid, Clause(sorted(current)), chain)
+        self._refutation_root = cid
+
     def _record_learned(self, learned: List[int],
                         chain: List[Tuple[Optional[int], int]]) -> None:
         cid = self._next_cid
@@ -605,39 +711,40 @@ class CdclSolver:
     def _handle_root_conflict(self, conflict: _ClauseRec) -> None:
         """Derive the empty clause from a conflict at decision level 0."""
         self._ok = False
-        if self._root_conflict:
-            return
+        first = not self._root_conflict
         self._root_conflict = True
         if self._proof is None:
             return
-        if self._proof.empty_clause_id is not None:
-            return
-        # Resolve the conflicting clause against level-0 reasons until empty.
-        chain: List[Tuple[Optional[int], int]] = [(None, conflict.cid)]
-        current = {l for l in conflict.lits}
-        guard = 0
-        while current:
-            guard += 1
-            if guard > 10_000_000:  # pragma: no cover - defensive
-                raise SolverError("runaway final conflict analysis")
-            lit = next(iter(current))
-            var = abs(lit)
-            reason = self._reason[var]
-            if reason is None:
-                raise SolverError(
-                    f"variable {var} falsified at level 0 without a reason")
-            chain.append((var, reason.cid))
-            current.discard(lit)
-            current.discard(-lit)
-            for other in reason.lits:
-                if abs(other) != var:
-                    current.add(other)
-            # Remove literals satisfied... none can be satisfied: all level-0
-            # reasons imply their head literal; the remaining literals are the
-            # falsified tail literals, which must be resolved away in turn.
-        cid = self._next_cid
-        self._next_cid += 1
-        self._proof.add_derived(cid, Clause([]), chain)
+        if first and self._proof.empty_clause_id is None:
+            # Resolve the conflicting clause against level-0 reasons until
+            # empty.
+            chain: List[Tuple[Optional[int], int]] = [(None, conflict.cid)]
+            current = {l for l in conflict.lits}
+            guard = 0
+            while current:
+                guard += 1
+                if guard > 10_000_000:  # pragma: no cover - defensive
+                    raise SolverError("runaway final conflict analysis")
+                lit = next(iter(current))
+                var = abs(lit)
+                reason = self._reason[var]
+                if reason is None:
+                    raise SolverError(
+                        f"variable {var} falsified at level 0 without a reason")
+                chain.append((var, reason.cid))
+                current.discard(lit)
+                current.discard(-lit)
+                for other in reason.lits:
+                    if abs(other) != var:
+                        current.add(other)
+                # Remove literals satisfied... none can be satisfied: all
+                # level-0 reasons imply their head literal; the remaining
+                # literals are the falsified tail literals, which must be
+                # resolved away in turn.
+            cid = self._next_cid
+            self._next_cid += 1
+            self._proof.add_derived(cid, Clause([]), chain)
+        self._refutation_root = self._proof.empty_clause_id
 
     # ------------------------------------------------------------------ #
     # Assignment management

@@ -1,0 +1,210 @@
+"""Group-aware proof logging: provenance, stripping, rejection, chains.
+
+The contract under test (see repro.sat.proof's module docstring): an
+UNSAT-under-assumptions answer of a proof-logging solver whose extra
+assumptions are all *activation literals* of clause groups can be turned
+into a genuine refutation of the caller's formula by deleting the active
+groups' ``-g`` literals from the recorded trace — chains kept verbatim —
+because activation variables are never resolution pivots
+(literal-presence provenance).  ``strip_activations`` implements the
+transformation; everything it emits must satisfy the independent
+``check_proof`` checker.
+"""
+
+import pytest
+
+from repro.cnf import Clause
+from repro.sat import (
+    ActivationDependencyError,
+    CdclSolver,
+    ProofError,
+    ResolutionProof,
+    SatResult,
+    check_proof,
+    strip_activations,
+)
+
+
+def _strip(solver, group):
+    """Strip the solver's last refutation down to the caller's formula."""
+    root = solver.last_refutation_root()
+    assert root is not None
+    active = {group}
+    return strip_activations(solver.proof(), active,
+                             solver.group_vars() - active, root)
+
+
+# --------------------------------------------------------------------- #
+# Recording: group provenance and final-conflict chains
+# --------------------------------------------------------------------- #
+def test_grouped_originals_record_group_and_partition():
+    solver = CdclSolver(proof_logging=True)
+    x = solver.new_var()
+    solver.add_clause([x], partition=1)
+    group = solver.new_group()
+    solver.add_clause([-x], partition=2, group=group)
+    assert solver.solve([solver.group_literal(group)]) is SatResult.UNSAT
+    nodes = {n.clause_id: n for n in solver.proof().nodes_in_order()}
+    originals = [n for n in nodes.values() if n.is_original]
+    by_partition = {n.partition: n for n in originals}
+    assert by_partition[1].group is None
+    assert by_partition[2].group == group
+    # The activation literal is appended to the stored clause itself.
+    assert -group in by_partition[2].clause.literals
+
+
+def test_unsat_under_assumptions_records_refutation_root():
+    # UNSAT under the activation assumption leaves no recorded empty
+    # clause (the formula alone is satisfiable) but does record the
+    # final-conflict chain: a root clause over negated assumptions.
+    solver = CdclSolver(proof_logging=True)
+    x = solver.new_var()
+    solver.add_clause([x])
+    group = solver.new_group()
+    solver.add_clause([-x], group=group)
+    assert solver.solve([solver.group_literal(group)]) is SatResult.UNSAT
+    root = solver.last_refutation_root()
+    assert root is not None
+    proof = solver.proof()
+    assert proof.empty_clause_id is None
+    root_lits = {n.clause_id: n for n in proof.nodes_in_order()}[root] \
+        .clause.literals
+    assert set(root_lits) <= {-group}
+
+
+def test_refutation_root_resets_on_sat_answer():
+    solver = CdclSolver(proof_logging=True)
+    x = solver.new_var()
+    solver.add_clause([x])
+    group = solver.new_group()
+    solver.add_clause([-x], group=group)
+    assert solver.solve([group]) is SatResult.UNSAT
+    assert solver.last_refutation_root() is not None
+    assert solver.solve() is SatResult.SAT       # without the activation
+    assert solver.last_refutation_root() is None
+
+
+# --------------------------------------------------------------------- #
+# Stripping: the result is a checkable refutation of the caller's formula
+# --------------------------------------------------------------------- #
+def test_stripped_refutation_passes_check_proof():
+    solver = CdclSolver(proof_logging=True)
+    x, y = solver.new_var(), solver.new_var()
+    solver.add_clause([x, y], partition=1)
+    solver.add_clause([x, -y], partition=1)
+    group = solver.new_group()
+    solver.add_clause([-x, y], partition=2, group=group)
+    solver.add_clause([-x, -y], partition=2, group=group)
+    assert solver.solve([solver.group_literal(group)]) is SatResult.UNSAT
+    stripped, stats = _strip(solver, group)
+    check_proof(stripped)
+    assert stripped.is_refutation()
+    # Partition labels ride through the strip untouched.
+    assert stripped.partitions() == {1, 2}
+    # No clause of the result mentions any activation variable.
+    for node in stripped.nodes_in_order():
+        assert all(abs(lit) != group for lit in node.clause.literals)
+    assert stats.nodes_before >= stats.nodes_after
+    assert stats.literals_stripped > 0
+
+
+def test_strip_preserves_permanent_originals_verbatim():
+    # Ungrouped originals are kept even off-core: interpolation
+    # classifies variable locality over the full (A, B) clause sets.
+    solver = CdclSolver(proof_logging=True)
+    x, z = solver.new_var(), solver.new_var()
+    solver.add_clause([x], partition=1)
+    solver.add_clause([z, x], partition=1)       # never touched by the search
+    group = solver.new_group()
+    solver.add_clause([-x], partition=2, group=group)
+    assert solver.solve([group]) is SatResult.UNSAT
+    stripped, _ = _strip(solver, group)
+    originals = [n for n in stripped.nodes_in_order() if n.is_original]
+    assert sorted(tuple(sorted(n.clause.literals)) for n in originals) == \
+        sorted([(x,), tuple(sorted([z, x])), (-x,)])
+
+
+def test_strip_drops_released_groups_off_core():
+    # A group released before the final solve contributes nothing to the
+    # refutation: its originals and its [-g] release unit are dropped.
+    solver = CdclSolver(proof_logging=True)
+    x = solver.new_var()
+    solver.add_clause([x])
+    stale = solver.new_group()
+    solver.add_clause([x, solver.new_var()], group=stale)
+    solver.release_group(stale)
+    group = solver.new_group()
+    solver.add_clause([-x], group=group)
+    assert solver.solve([group]) is SatResult.UNSAT
+    stripped, stats = _strip(solver, group)
+    check_proof(stripped)
+    assert stats.originals_dropped >= 2          # the stale clause + its unit
+    for node in stripped.nodes_in_order():
+        assert all(abs(lit) != stale for lit in node.clause.literals)
+
+
+def test_strip_rejects_core_dependency_on_foreign_group():
+    # A hand-built trace whose core rests on a foreign group's clause must
+    # be rejected: that group is not part of the caller's formula.
+    proof = ResolutionProof()
+    g, h = 10, 11                                 # two activation variables
+    proof.add_original(0, Clause([1, -g]), partition=1, group=g)
+    proof.add_original(1, Clause([-1, -h]), partition=2, group=h)
+    proof.add_derived(2, Clause([-g, -h]), [(None, 0), (1, 1)])
+    with pytest.raises(ActivationDependencyError):
+        strip_activations(proof, {g}, {h}, root_id=2)
+
+
+def test_strip_rejects_activation_pivot():
+    # Resolving *on* an activation variable falsifies the provenance
+    # invariant (no clause ever carries +g) — reject loudly.
+    proof = ResolutionProof()
+    g = 10
+    proof.add_original(0, Clause([1, -g]), group=g)
+    proof.add_original(1, Clause([g]))            # illegal +g clause
+    proof.add_derived(2, Clause([1]), [(None, 0), (g, 1)])
+    proof.add_original(3, Clause([-1]))
+    proof.add_derived(4, Clause([]), [(None, 2), (1, 3)])
+    with pytest.raises(ActivationDependencyError):
+        strip_activations(proof, {g}, set(), root_id=4)
+
+
+def test_strip_rejects_non_activation_root():
+    # The root must strip to the empty clause; a root with real literals
+    # left over is not a refutation of the caller's formula.
+    proof = ResolutionProof()
+    g = 10
+    proof.add_original(0, Clause([1, -g]), group=g)
+    with pytest.raises(ProofError):
+        strip_activations(proof, {g}, set(), root_id=0)
+
+
+# --------------------------------------------------------------------- #
+# Incremental deepening: the engines' actual usage pattern
+# --------------------------------------------------------------------- #
+def test_strip_across_group_release_cycles():
+    """The per-bound pattern of the incremental counterexample search:
+
+    permanent clauses deepen monotonically, the bound-specific target
+    lives in a group that is released and replaced every round, and each
+    round's UNSAT answer strips to a checkable refutation even though the
+    trace still holds the previous rounds' released clauses and learned
+    consequences.
+    """
+    solver = CdclSolver(proof_logging=True)
+    n = 4
+    chain = [solver.new_var() for _ in range(n + 1)]
+    solver.add_clause([chain[0]], partition=1)   # "initial state"
+    for i in range(n):
+        # chain[i] -> chain[i+1]: a toy transition relation.
+        solver.add_clause([-chain[i], chain[i + 1]], partition=i + 1)
+    for bound in range(1, n + 1):
+        group = solver.new_group()
+        solver.add_clause([-chain[bound]], partition=bound + 1, group=group)
+        assert solver.solve([solver.group_literal(group)]) is SatResult.UNSAT
+        stripped, stats = _strip(solver, group)
+        check_proof(stripped)
+        assert stripped.partitions() >= {1, bound + 1}
+        solver.release_group(group)
+    # After the last release the formula alone is satisfiable again.
+    assert solver.solve() is SatResult.SAT

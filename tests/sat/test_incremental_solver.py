@@ -84,10 +84,20 @@ def test_sequential_groups_mimic_bmc_deepening():
     assert solver.model_value(y)
 
 
-def test_groups_incompatible_with_proof_logging():
+def test_groups_compose_with_proof_logging():
+    # The historical incompatibility is lifted: a proof-logging solver may
+    # open groups, and an UNSAT answer under the activation assumption
+    # records a final-conflict root (tests/sat/test_group_proof.py covers
+    # the full strip_activations contract).
     solver = CdclSolver(proof_logging=True)
-    with pytest.raises(SolverError):
-        solver.new_group()
+    x = solver.new_var()
+    solver.add_clause([x])
+    group = solver.new_group()
+    solver.add_clause([-x], group=group)
+    assert solver.solve(assumptions=[solver.group_literal(group)]) \
+        is SatResult.UNSAT
+    assert solver.last_refutation_root() is not None
+    assert solver.proof() is not None
 
 
 def test_learned_clauses_persist_across_calls():
